@@ -1,0 +1,47 @@
+#include "core/baseline_rm.hpp"
+
+#include <algorithm>
+
+#include "core/edf.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+
+Decision BaselineRM::decide(const ArrivalContext& context) {
+    // Prediction is ignored by design; build the instance without it.
+    const PlanInstance instance = PlanInstance::build(context, 0);
+    const Platform& platform = *instance.platform;
+
+    // Existing tasks are frozen on their current resources.
+    std::vector<std::vector<ScheduleItem>> occupied = instance.blocks;
+    const std::size_t candidate_index = instance.tasks.size() - 1;
+    RMWP_ENSURE(instance.tasks[candidate_index].is_candidate);
+    for (std::size_t j = 0; j + 1 < instance.tasks.size(); ++j) {
+        const ResourceId home = context.active[j].resource;
+        occupied[platform.resource(home).physical()].push_back(instance.item_for(j, home));
+    }
+
+    // Cheapest-first placement of the candidate only.
+    const PlanTask& candidate = instance.tasks[candidate_index];
+    std::vector<ResourceId> order = candidate.executable;
+    std::sort(order.begin(), order.end(),
+              [&](ResourceId a, ResourceId b) { return candidate.epm[a] < candidate.epm[b]; });
+
+    Decision decision;
+    for (const ResourceId i : order) {
+        const ResourceId anchor = platform.resource(i).physical();
+        occupied[anchor].push_back(instance.item_for(candidate_index, i));
+        if (resource_feasible(platform.resource(anchor), instance.now, occupied[anchor])) {
+            decision.admitted = true;
+            for (std::size_t j = 0; j + 1 < instance.tasks.size(); ++j)
+                decision.assignments.push_back(
+                    TaskAssignment{instance.tasks[j].uid, context.active[j].resource});
+            decision.assignments.push_back(TaskAssignment{candidate.uid, i});
+            return decision;
+        }
+        occupied[anchor].pop_back();
+    }
+    return decision; // reject
+}
+
+} // namespace rmwp

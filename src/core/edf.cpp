@@ -1,0 +1,202 @@
+#include "core/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+/// Absolute tolerance for time comparisons; times are O(1e4) ms and
+/// durations O(10) ms, so 1e-6 is far below any meaningful quantity while
+/// absorbing accumulated floating-point noise.
+constexpr double kEps = 1e-6;
+
+struct Work {
+    const ScheduleItem* item = nullptr;
+    double remaining = 0.0;
+    bool done = false;
+};
+
+/// Strict-weak EDF ordering with deterministic tie-breaks.  Design-time
+/// reservations outrank every adaptive task; the predicted task carries the
+/// maximum uid, so on deadline ties real tasks win — exactly the paper's
+/// "SL1 = deadline earlier than or equal to tau_p".
+bool edf_before(const ScheduleItem& a, const ScheduleItem& b) noexcept {
+    if (a.reserved != b.reserved) return a.reserved;
+    if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
+    if (a.release != b.release) return a.release < b.release;
+    return a.uid < b.uid;
+}
+
+/// Whether a not-yet-released item `u` preempts the currently running
+/// `pick` on a preemptable resource at u's release.  Reservations preempt
+/// any adaptive task; adaptive tasks preempt by strictly earlier deadline;
+/// nothing preempts a reservation (overlapping reservations are a
+/// design-time error and simply surface as infeasibility).
+bool preempts(const ScheduleItem& u, const ScheduleItem& pick) noexcept {
+    if (pick.reserved) return false;
+    if (u.reserved) return true;
+    return edf_before(u, pick);
+}
+
+/// Shared preemptive/non-preemptive EDF simulation.  When `record` is null
+/// only feasibility is computed.
+bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleItem> items,
+                  ResourceTimeline* record, std::unordered_map<TaskUid, Time>* completion) {
+    bool feasible = true;
+    Time cur = now;
+
+    auto emit = [&](TaskUid uid, Time start, Time end) {
+        if (record == nullptr || end <= start) return;
+        // Coalesce with the previous segment when the same task continues.
+        if (!record->segments.empty() && record->segments.back().uid == uid &&
+            std::abs(record->segments.back().end - start) <= kEps) {
+            record->segments.back().end = end;
+            return;
+        }
+        record->segments.push_back(Segment{uid, start, end});
+    };
+
+    auto finish = [&](const ScheduleItem& item, Time end) {
+        if (completion != nullptr) (*completion)[item.uid] = end;
+        if (end > item.abs_deadline + kEps) feasible = false;
+    };
+
+    // Bring the items into mutable Work records; run the pinned task (the
+    // one currently executing on a non-preemptable resource) first.
+    std::vector<Work> works;
+    works.reserve(items.size());
+    for (const ScheduleItem& item : items) {
+        RMWP_EXPECT(item.duration >= 0.0);
+        RMWP_EXPECT(item.release >= now - kEps);
+        if (item.pinned_first) {
+            RMWP_EXPECT(!resource.preemptable());
+            const Time end = cur + item.duration;
+            emit(item.uid, cur, end);
+            finish(item, end);
+            cur = end;
+            continue;
+        }
+        works.push_back(Work{&item, item.duration, item.duration <= 0.0});
+        if (works.back().done) finish(item, std::max(cur, item.release));
+    }
+
+    std::size_t open = 0;
+    for (const Work& w : works)
+        if (!w.done) ++open;
+
+    while (open > 0) {
+        // Highest-priority ready item (reservations first, then EDF).
+        Work* pick = nullptr;
+        for (Work& w : works) {
+            if (w.done || w.item->release > cur + kEps) continue;
+            if (pick == nullptr || edf_before(*w.item, *pick->item)) pick = &w;
+        }
+
+        // Non-preemptable resources dispatch at boundaries only, so an
+        // adaptive task may start only if it completes before the next
+        // reservation begins — otherwise it would overrun a window that is
+        // guaranteed at design time.  Fall back to the longest-fitting EDF
+        // choice, or idle until the reservation.
+        Time next_reservation = std::numeric_limits<Time>::infinity();
+        for (const Work& w : works)
+            if (!w.done && w.item->reserved && w.item->release > cur + kEps)
+                next_reservation = std::min(next_reservation, w.item->release);
+        if (!resource.preemptable() && pick != nullptr && !pick->item->reserved &&
+            cur + pick->remaining > next_reservation + kEps) {
+            pick = nullptr;
+            for (Work& w : works) {
+                if (w.done || w.item->release > cur + kEps || w.item->reserved) continue;
+                if (cur + w.remaining > next_reservation + kEps) continue;
+                if (pick == nullptr || edf_before(*w.item, *pick->item)) pick = &w;
+            }
+        }
+
+        if (pick == nullptr) {
+            // Nothing dispatchable: idle to the next release (a future
+            // arrival or the next reserved window).
+            Time next = next_reservation;
+            for (const Work& w : works)
+                if (!w.done && w.item->release > cur + kEps)
+                    next = std::min(next, w.item->release);
+            RMWP_ENSURE(std::isfinite(next));
+            cur = std::max(cur, next);
+            continue;
+        }
+
+        Time end = cur + pick->remaining;
+        if (resource.preemptable()) {
+            // A future release preempts the running task if it outranks it
+            // (a reservation always; an adaptive task by earlier deadline).
+            Time preempt_at = std::numeric_limits<Time>::infinity();
+            for (const Work& w : works) {
+                if (w.done || &w == pick) continue;
+                if (w.item->release > cur + kEps && w.item->release < end - kEps &&
+                    preempts(*w.item, *pick->item)) {
+                    preempt_at = std::min(preempt_at, w.item->release);
+                }
+            }
+            if (preempt_at < end) {
+                emit(pick->item->uid, cur, preempt_at);
+                pick->remaining -= preempt_at - cur;
+                cur = preempt_at;
+                continue;
+            }
+        }
+        emit(pick->item->uid, cur, end);
+        pick->remaining = 0.0;
+        pick->done = true;
+        --open;
+        finish(*pick->item, end);
+        cur = end;
+    }
+
+    return feasible;
+}
+
+} // namespace
+
+ResourceScheduleResult schedule_resource(const Resource& resource, Time now,
+                                         std::span<const ScheduleItem> items,
+                                         std::unordered_map<TaskUid, Time>* completion) {
+    ResourceScheduleResult result;
+    result.feasible = simulate_edf(resource, now, items, &result.timeline, completion);
+    return result;
+}
+
+bool resource_feasible(const Resource& resource, Time now, std::span<const ScheduleItem> items) {
+    return simulate_edf(resource, now, items, nullptr, nullptr);
+}
+
+WindowSchedule build_window_schedule(const Platform& platform, Time now,
+                                     std::span<const ScheduleItem> items) {
+    WindowSchedule schedule;
+    schedule.start = now;
+    schedule.feasible = true;
+    schedule.per_resource.resize(platform.size());
+
+    // Operating points of one DVFS core share the core's timeline: group by
+    // the physical anchor, so two tasks on different frequency levels of
+    // the same core serialise like any other same-resource pair.
+    std::vector<std::vector<ScheduleItem>> grouped(platform.size());
+    for (const ScheduleItem& item : items) {
+        RMWP_EXPECT(item.resource < platform.size());
+        grouped[platform.resource(item.resource).physical()].push_back(item);
+    }
+    for (ResourceId i = 0; i < platform.size(); ++i) {
+        if (platform.resource(i).physical() != i) {
+            RMWP_EXPECT(grouped[i].empty());
+            continue;
+        }
+        auto result =
+            schedule_resource(platform.resource(i), now, grouped[i], &schedule.completion);
+        schedule.per_resource[i] = std::move(result.timeline);
+        schedule.feasible = schedule.feasible && result.feasible;
+    }
+    return schedule;
+}
+
+} // namespace rmwp

@@ -1,0 +1,49 @@
+// The EDF scheduling engine behind both resource managers (Sec 4.1/4.2).
+//
+// On every resource, tasks are ordered earliest-deadline-first.  All real
+// tasks are released at the activation time (between two activations there
+// is no preemption among real tasks), while the predicted task is released
+// at its predicted arrival s_p — so a single "EDF with release times"
+// simulation reproduces all the cases of the MILP formulation:
+//   * s_p <= q_i  -> the predicted task simply queues after SL1 (constr. 4/7);
+//   * s_p  > q_i  -> it preempts the running SL2 task, splitting it into two
+//                    chunks (constraints 8-14);
+//   * non-preemptable resources dispatch at task boundaries only, so the
+//     predicted task waits for the running task to finish (no preemption on
+//     GPUs, Sec 4.1).
+// A task currently executing on a non-preemptable resource is pinned and
+// always occupies the head of that resource's timeline.
+#pragma once
+
+#include <span>
+
+#include "core/schedule.hpp"
+#include "platform/platform.hpp"
+
+namespace rmwp {
+
+/// Plan one resource's timeline.  `items` are the tasks assigned to
+/// `resource` (any order).  Returns the timeline and whether every item
+/// finishes by its deadline; completion times are appended to `completion`.
+/// At most one item may be pinned_first, and only on a non-preemptable
+/// resource.
+struct ResourceScheduleResult {
+    ResourceTimeline timeline;
+    bool feasible = true;
+};
+
+[[nodiscard]] ResourceScheduleResult schedule_resource(
+    const Resource& resource, Time now, std::span<const ScheduleItem> items,
+    std::unordered_map<TaskUid, Time>* completion = nullptr);
+
+/// Fast feasibility-only variant of schedule_resource (no timeline built).
+[[nodiscard]] bool resource_feasible(const Resource& resource, Time now,
+                                     std::span<const ScheduleItem> items);
+
+/// Plan the whole window: groups `items` by their `resource` field and runs
+/// schedule_resource on each.  Items mapped to a resource index >= platform
+/// size are a precondition violation.
+[[nodiscard]] WindowSchedule build_window_schedule(const Platform& platform, Time now,
+                                                   std::span<const ScheduleItem> items);
+
+} // namespace rmwp

@@ -1,0 +1,130 @@
+#include "core/exact_rm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/edf.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Depth-first search state.
+struct Search {
+    const PlanInstance* instance = nullptr;
+    const ExactRM::Options* options = nullptr;
+
+    std::vector<std::size_t> order;           ///< task indices, most-constrained first
+    std::vector<double> min_cost_suffix;      ///< optimistic cost of order[d..]
+    std::vector<std::vector<ScheduleItem>> assigned; ///< per-resource partial schedule
+
+    std::vector<ResourceId> current;          ///< current[j] = resource of tasks[j]
+    std::vector<ResourceId> best;
+    double best_cost = kInfinity;
+    bool proven = true;
+    std::uint64_t nodes = 0;
+
+    void dfs(std::size_t depth, double cost) {
+        if (nodes >= options->node_limit) {
+            proven = false;
+            return;
+        }
+        ++nodes;
+
+        if (depth == order.size()) {
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = current;
+            }
+            return;
+        }
+        if (cost + min_cost_suffix[depth] >= best_cost) return; // bound
+
+        const std::size_t j = order[depth];
+        const PlanTask& task = instance->tasks[j];
+
+        // Cheapest-first exploration finds a good incumbent early.
+        std::vector<ResourceId> candidates = task.executable;
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](ResourceId a, ResourceId b) { return task.epm[a] < task.epm[b]; });
+
+        for (const ResourceId i : candidates) {
+            const double next_cost = cost + task.epm[i];
+            if (next_cost + min_cost_suffix[depth + 1] >= best_cost) continue;
+
+            // Operating points of a DVFS core share the core's timeline, so
+            // partial schedules are kept per physical anchor.
+            const ResourceId anchor = instance->platform->resource(i).physical();
+            assigned[anchor].push_back(instance->item_for(j, i));
+            // Adding a task to a core can only hurt that core's EDF
+            // feasibility, so checking the touched core alone is exact.
+            if (resource_feasible(instance->platform->resource(anchor), instance->now,
+                                  assigned[anchor])) {
+                current[j] = i;
+                dfs(depth + 1, next_cost);
+            }
+            assigned[anchor].pop_back();
+            if (!proven && best.empty()) return; // out of budget with no incumbent
+        }
+    }
+};
+
+} // namespace
+
+std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
+                                                 const Options& options) {
+    const std::size_t count = instance.tasks.size();
+
+    Search search;
+    search.instance = &instance;
+    search.options = &options;
+    // Critical-reservation blocks are fixed occupants of every partial
+    // schedule the search explores.
+    search.assigned = instance.blocks;
+    search.current.assign(count, 0);
+
+    // Most-constrained-first ordering: fewest executable resources, then
+    // earliest deadline.  Pinned tasks have a single option, so they land at
+    // the front and act as fixed context for everything after them.
+    search.order.resize(count);
+    std::iota(search.order.begin(), search.order.end(), std::size_t{0});
+    std::sort(search.order.begin(), search.order.end(), [&](std::size_t a, std::size_t b) {
+        const PlanTask& ta = instance.tasks[a];
+        const PlanTask& tb = instance.tasks[b];
+        if (ta.executable.size() != tb.executable.size())
+            return ta.executable.size() < tb.executable.size();
+        return ta.abs_deadline < tb.abs_deadline;
+    });
+
+    search.min_cost_suffix.assign(count + 1, 0.0);
+    for (std::size_t d = count; d-- > 0;) {
+        const PlanTask& task = instance.tasks[search.order[d]];
+        double cheapest = kInfinity;
+        for (const ResourceId i : task.executable) cheapest = std::min(cheapest, task.epm[i]);
+        search.min_cost_suffix[d] = search.min_cost_suffix[d + 1] + cheapest;
+    }
+
+    search.dfs(0, 0.0);
+
+    if (search.best.empty()) return std::nullopt;
+    Result result;
+    result.mapping = std::move(search.best);
+    result.energy = search.best_cost;
+    result.proven_optimal = search.proven;
+    result.nodes = search.nodes;
+    return result;
+}
+
+Decision ExactRM::decide(const ArrivalContext& context) {
+    return run_admission_ladder(
+        context, [this](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+            if (auto result = optimize(instance, options_)) return std::move(result->mapping);
+            return std::nullopt;
+        });
+}
+
+} // namespace rmwp

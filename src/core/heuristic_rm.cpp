@@ -1,0 +1,139 @@
+#include "core/heuristic_rm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/edf.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// The big-M of line 6: large enough to dominate any energy difference yet
+/// finite so a desirability order still exists among infeasible choices.
+constexpr double kBigM = 1e9;
+
+} // namespace
+
+std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance& instance,
+                                                              const Options& options) {
+    const std::size_t n = instance.resource_count();
+    const std::size_t count = instance.tasks.size();
+
+    // Lines 1-6: capacities and desirabilities.  Capacities live on
+    // *physical* cores (operating points of a DVFS core share one
+    // timeline), and critical reservations are carved out up front (Sec 2:
+    // the adaptive policy runs "over the remaining set of resources").
+    const Platform& platform = *instance.platform;
+    auto phys = [&](ResourceId i) { return platform.resource(i).physical(); };
+    std::vector<double> capacity(n, instance.window);
+    for (ResourceId i = 0; i < n; ++i) capacity[i] -= instance.blocked_time[i];
+    std::vector<std::vector<double>> f(count, std::vector<double>(n, kInfinity));
+    for (std::size_t j = 0; j < count; ++j) {
+        const PlanTask& task = instance.tasks[j];
+        for (const ResourceId i : task.executable) {
+            const double penalty = task.cpm[i] > task.time_left(instance.now) ? kBigM : 0.0;
+            const double base = options.desirability == Options::Desirability::energy
+                                    ? task.epm[i]
+                                    : task.epm[i] / task.cpm[i];
+            f[j][i] = base + penalty;
+        }
+    }
+
+    std::vector<ResourceId> mapping(count, 0);
+    std::vector<bool> mapped(count, false);
+    std::vector<std::vector<ScheduleItem>> assigned = instance.blocks;
+    // Per-task exclusion set: resources already tried and found unschedulable
+    // for that task in the inner loop (lines 29-34).
+    std::vector<std::vector<bool>> excluded(count, std::vector<bool>(n, false));
+
+    std::size_t unmapped = count;
+    while (unmapped > 0) {
+        // Lines 8-23: pick the task with the maximum regret d* (or, under an
+        // ablation ordering, the next unmapped task by deadline / arrival —
+        // the feasibility bookkeeping stays identical).
+        double best_regret = -kInfinity;
+        std::size_t best_task = count;
+        for (std::size_t j = 0; j < count; ++j) {
+            if (mapped[j]) continue;
+            const PlanTask& task = instance.tasks[j];
+
+            double best_f = kInfinity;
+            double second_f = kInfinity;
+            std::size_t feasible = 0;
+            for (const ResourceId i : task.executable) {
+                if (excluded[j][i] || task.cpm[i] > capacity[phys(i)]) continue;
+                ++feasible;
+                if (f[j][i] < best_f) {
+                    second_f = best_f;
+                    best_f = f[j][i];
+                } else if (f[j][i] < second_f) {
+                    second_f = f[j][i];
+                }
+            }
+            if (feasible == 0) return std::nullopt; // line 22: no solution
+
+            switch (options.order) {
+            case Options::Order::max_regret: {
+                const double regret = feasible == 1 ? kInfinity : second_f - best_f;
+                if (regret > best_regret) {
+                    best_regret = regret;
+                    best_task = j;
+                }
+                break;
+            }
+            case Options::Order::edf:
+                if (best_task == count ||
+                    task.abs_deadline < instance.tasks[best_task].abs_deadline)
+                    best_task = j;
+                break;
+            case Options::Order::arrival:
+                if (best_task == count) best_task = j;
+                break;
+            }
+        }
+        RMWP_ENSURE(best_task < count);
+
+        // Lines 24-34: map the chosen task to its most desirable resource
+        // that passes the schedulability check.
+        const PlanTask& task = instance.tasks[best_task];
+        bool placed = false;
+        while (!placed) {
+            double best_f = kInfinity;
+            ResourceId target = n;
+            for (const ResourceId i : task.executable) {
+                if (excluded[best_task][i] || task.cpm[i] > capacity[phys(i)]) continue;
+                if (f[best_task][i] < best_f) {
+                    best_f = f[best_task][i];
+                    target = i;
+                }
+            }
+            if (target == n) return std::nullopt; // lines 31-32: no more resources
+
+            const ResourceId anchor = phys(target);
+            assigned[anchor].push_back(instance.item_for(best_task, target));
+            if (resource_feasible(platform.resource(anchor), instance.now, assigned[anchor])) {
+                mapping[best_task] = target;
+                mapped[best_task] = true;
+                capacity[anchor] -= task.cpm[target];
+                placed = true;
+                --unmapped;
+            } else {
+                assigned[anchor].pop_back();
+                excluded[best_task][target] = true;
+            }
+        }
+    }
+
+    return mapping;
+}
+
+Decision HeuristicRM::decide(const ArrivalContext& context) {
+    return run_admission_ladder(
+        context, [this](const PlanInstance& instance) { return map_tasks(instance, options_); });
+}
+
+} // namespace rmwp

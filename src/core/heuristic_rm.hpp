@@ -1,0 +1,60 @@
+// The paper's fast heuristic (Algorithm 1): a max-regret knapsack mapper.
+//
+// Resources are knapsacks of capacity K-bar (the planning-window length);
+// task weights are the occupied times cpm_{j,i}; desirability
+// f_{j,i} = epm_{j,i} + M * [cpm_{j,i} > t_left_j].  Tasks are mapped in
+// decreasing order of regret (gap between the best and second-best
+// desirability); each mapping must pass the EDF IsSchedulable check, falling
+// back to the next-best resource until the candidate list is exhausted.
+// Worst-case complexity O(N * L * log L).
+#pragma once
+
+#include "core/manager.hpp"
+#include "core/plan_instance.hpp"
+
+#include <optional>
+
+namespace rmwp {
+
+class HeuristicRM final : public ResourceManager {
+public:
+    /// Ablation knobs (the defaults are the paper's Algorithm 1; the
+    /// alternatives quantify how much each design choice contributes — see
+    /// bench_ablations).
+    struct Options {
+        /// Order in which tasks are mapped.
+        enum class Order {
+            max_regret, ///< largest best-vs-second-best desirability gap (paper)
+            edf,        ///< earliest deadline first
+            arrival,    ///< instance order (active tasks, then candidate)
+        };
+        /// Desirability measure f_{j,i}.
+        enum class Desirability {
+            energy,         ///< epm_{j,i} (paper)
+            energy_density, ///< epm_{j,i} / cpm_{j,i} (energy per occupied ms)
+        };
+        Order order = Order::max_regret;
+        Desirability desirability = Desirability::energy;
+    };
+
+    HeuristicRM() = default;
+    explicit HeuristicRM(Options options) : options_(options) {}
+
+    [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    [[nodiscard]] std::string name() const override { return "heuristic"; }
+
+    /// Run Algorithm 1 on a prepared instance.  Returns the per-task mapping
+    /// (indexed like instance.tasks) or nullopt when no feasible mapping of
+    /// the complete task set was found.
+    [[nodiscard]] static std::optional<std::vector<ResourceId>> map_tasks(
+        const PlanInstance& instance, const Options& options);
+    [[nodiscard]] static std::optional<std::vector<ResourceId>> map_tasks(
+        const PlanInstance& instance) {
+        return map_tasks(instance, Options{});
+    }
+
+private:
+    Options options_;
+};
+
+} // namespace rmwp

@@ -1,0 +1,86 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+
+#include "core/reservation.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+
+ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type, ResourceId to,
+                                Time now) {
+    RMWP_EXPECT(type.executable_on(to));
+    RMWP_EXPECT(!task.pinned || to == task.resource);
+    ScheduleItem item;
+    item.uid = task.uid;
+    item.resource = to;
+    item.release = now;
+    item.abs_deadline = task.absolute_deadline;
+    item.duration = occupied_time(task, type, to);
+    item.pinned_first = task.pinned;
+    return item;
+}
+
+ScheduleItem make_predicted_item(const PredictedTask& predicted, const TaskType& type,
+                                 ResourceId to, Time now) {
+    RMWP_EXPECT(type.executable_on(to));
+    ScheduleItem item;
+    item.uid = kPredictedUid;
+    item.resource = to;
+    item.release = std::max(predicted.arrival, now);
+    item.abs_deadline = predicted.absolute_deadline();
+    item.duration = type.wcet(to);
+    item.pinned_first = false;
+    return item;
+}
+
+Time planning_window(const ArrivalContext& context, std::size_t predicted_count) {
+    Time latest = context.candidate.absolute_deadline;
+    for (const ActiveTask& task : context.active) latest = std::max(latest, task.absolute_deadline);
+    const std::size_t count = std::min(predicted_count, context.predicted.size());
+    for (std::size_t k = 0; k < count; ++k)
+        latest = std::max(latest, context.predicted[k].absolute_deadline());
+    RMWP_ENSURE(latest >= context.now);
+    return latest - context.now;
+}
+
+WindowSchedule realize_decision(const ArrivalContext& context, const Decision& decision) {
+    std::vector<ScheduleItem> items;
+    items.reserve(decision.assignments.size());
+
+    auto find_task = [&](TaskUid uid) -> const ActiveTask* {
+        if (uid == context.candidate.uid) return &context.candidate;
+        for (const ActiveTask& task : context.active)
+            if (task.uid == uid) return &task;
+        return nullptr;
+    };
+
+    std::size_t candidate_seen = 0;
+    for (const TaskAssignment& assignment : decision.assignments) {
+        const ActiveTask* task = find_task(assignment.uid);
+        RMWP_EXPECT(task != nullptr);
+        if (task == &context.candidate) ++candidate_seen;
+        items.push_back(
+            make_schedule_item(*task, context.type_of(*task), assignment.resource, context.now));
+    }
+    if (decision.admitted) {
+        RMWP_EXPECT(candidate_seen == 1);
+        RMWP_EXPECT(decision.assignments.size() == context.active.size() + 1);
+    } else {
+        RMWP_EXPECT(decision.assignments.empty());
+        for (const ActiveTask& task : context.active)
+            items.push_back(
+                make_schedule_item(task, context.type_of(task), task.resource, context.now));
+    }
+
+    if (context.reservations != nullptr && !context.reservations->empty()) {
+        Time horizon = context.now;
+        for (const ScheduleItem& item : items)
+            horizon = std::max(horizon, item.abs_deadline);
+        context.reservations->append_blocks(context.now, horizon, items);
+    }
+
+    return build_window_schedule(*context.platform, context.now, items);
+}
+
+} // namespace rmwp

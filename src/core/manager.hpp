@@ -1,0 +1,100 @@
+// The resource-manager interface (Sec 2, Sec 4).
+//
+// An RM is activated once per arriving request.  It sees the platform, the
+// admitted-but-unfinished tasks (state already advanced to the activation
+// time), the newly arrived task, and — when prediction is enabled — the
+// predicted next request.  It returns an admission verdict plus a full
+// mapping for the task set; the simulator turns that mapping into the
+// executed schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/edf.hpp"
+#include "core/schedule.hpp"
+#include "core/task_state.hpp"
+#include "platform/platform.hpp"
+#include "workload/catalog.hpp"
+
+namespace rmwp {
+
+/// The predicted next request req_p (type + timing), as delivered by a
+/// predictor.  Used by the RM purely as a planning constraint (Sec 4.1).
+struct PredictedTask {
+    TaskTypeId type = 0;
+    Time arrival = 0.0;            ///< predicted s_p
+    Time relative_deadline = 0.0;  ///< d_p
+
+    [[nodiscard]] Time absolute_deadline() const noexcept { return arrival + relative_deadline; }
+};
+
+class ReservationTable;
+
+/// Everything an RM activation can look at.
+struct ArrivalContext {
+    Time now = 0.0;                       ///< decision time (arrival + prediction overhead)
+    const Platform* platform = nullptr;
+    const Catalog* catalog = nullptr;
+    std::span<const ActiveTask> active;   ///< admitted, unfinished, advanced to `now`
+    ActiveTask candidate;                 ///< the newly arrived task (mapping ignored)
+    /// Predicted upcoming requests, nearest first.  The paper's predictor
+    /// looks one request ahead (size <= 1); deeper lookahead is an
+    /// extension (see bench_lookahead).  Empty when prediction is off.
+    std::vector<PredictedTask> predicted;
+    /// Design-time critical reservations the plan must respect (optional).
+    const ReservationTable* reservations = nullptr;
+
+    [[nodiscard]] const TaskType& type_of(const ActiveTask& task) const {
+        return catalog->type(task.type);
+    }
+};
+
+/// One task's new mapping.
+struct TaskAssignment {
+    TaskUid uid = 0;
+    ResourceId resource = 0;
+};
+
+/// The RM's verdict for one activation.
+struct Decision {
+    bool admitted = false;
+    /// True when the accepted plan includes the predicted task as a
+    /// constraint; false when the plan came from the no-prediction fallback.
+    bool used_prediction = false;
+    /// New mapping for every real task in the window (active tasks always;
+    /// the candidate too iff admitted).  Empty on rejection: the previous
+    /// mapping stays in force.
+    std::vector<TaskAssignment> assignments;
+};
+
+/// Abstract resource manager.
+class ResourceManager {
+public:
+    virtual ~ResourceManager() = default;
+    [[nodiscard]] virtual Decision decide(const ArrivalContext& context) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Build the ScheduleItem for a real task under a candidate assignment.
+[[nodiscard]] ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type,
+                                              ResourceId to, Time now);
+
+/// Build the ScheduleItem for the predicted (virtual) task on a resource.
+[[nodiscard]] ScheduleItem make_predicted_item(const PredictedTask& predicted,
+                                               const TaskType& type, ResourceId to, Time now);
+
+/// Planning window length K = max_j t_left_j over the given tasks and the
+/// first `predicted_count` predicted tasks.  Requires a non-empty task set.
+[[nodiscard]] Time planning_window(const ArrivalContext& context, std::size_t predicted_count);
+
+/// Rebuild the window schedule implied by a decision (real tasks only) and
+/// verify feasibility.  Used by the simulator and by tests as the
+/// ground-truth check that an RM never admits an unschedulable set.
+[[nodiscard]] WindowSchedule realize_decision(const ArrivalContext& context,
+                                              const Decision& decision);
+
+} // namespace rmwp

@@ -1,0 +1,123 @@
+#include "core/plan_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/reservation.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+PlanTask make_plan_task(const ArrivalContext& context, const ActiveTask& task, bool is_candidate) {
+    const TaskType& type = context.type_of(task);
+    const std::size_t n = context.platform->size();
+
+    PlanTask plan;
+    plan.uid = task.uid;
+    plan.release = context.now;
+    plan.abs_deadline = task.absolute_deadline;
+    plan.pinned = task.pinned;
+    plan.pinned_resource = task.resource;
+    plan.is_candidate = is_candidate;
+    plan.cpm.assign(n, std::numeric_limits<double>::infinity());
+    plan.epm.assign(n, std::numeric_limits<double>::infinity());
+    for (ResourceId i = 0; i < n; ++i) {
+        if (!type.executable_on(i)) continue;
+        if (task.pinned && i != task.resource) continue;
+        plan.cpm[i] = occupied_time(task, type, i);
+        plan.epm[i] = assignment_energy(task, type, i);
+        plan.executable.push_back(i);
+    }
+    RMWP_ENSURE(!plan.executable.empty());
+    return plan;
+}
+
+PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& predicted,
+                        std::size_t step) {
+    const TaskType& type = context.catalog->type(predicted.type);
+    const std::size_t n = context.platform->size();
+
+    PlanTask plan;
+    plan.uid = kPredictedUidBase + step;
+    plan.release = std::max(predicted.arrival, context.now);
+    plan.abs_deadline = predicted.absolute_deadline();
+    plan.is_predicted = true;
+    plan.cpm.assign(n, std::numeric_limits<double>::infinity());
+    plan.epm.assign(n, std::numeric_limits<double>::infinity());
+    for (ResourceId i = 0; i < n; ++i) {
+        if (!type.executable_on(i)) continue;
+        plan.cpm[i] = type.wcet(i);
+        plan.epm[i] = type.energy(i);
+        plan.executable.push_back(i);
+    }
+    RMWP_ENSURE(!plan.executable.empty());
+    return plan;
+}
+
+} // namespace
+
+PlanInstance PlanInstance::build(const ArrivalContext& context, std::size_t predicted_count) {
+    RMWP_EXPECT(context.platform != nullptr);
+    RMWP_EXPECT(context.catalog != nullptr);
+
+    PlanInstance instance;
+    instance.platform = context.platform;
+    instance.now = context.now;
+    instance.predicted_count = std::min(predicted_count, context.predicted.size());
+    instance.window = planning_window(context, instance.predicted_count);
+
+    instance.tasks.reserve(context.active.size() + 1 + instance.predicted_count);
+    for (const ActiveTask& task : context.active)
+        instance.tasks.push_back(make_plan_task(context, task, /*is_candidate=*/false));
+    instance.tasks.push_back(make_plan_task(context, context.candidate, /*is_candidate=*/true));
+    for (std::size_t k = 0; k < instance.predicted_count; ++k)
+        instance.tasks.push_back(make_plan_task(context, context.predicted[k], k));
+
+    // Blocks and blocked time are tracked per *physical* core: reservations
+    // occupy the core whatever operating point other work uses.
+    const std::size_t n = context.platform->size();
+    instance.blocks.resize(n);
+    instance.blocked_time.assign(n, 0.0);
+    if (context.reservations != nullptr && !context.reservations->empty()) {
+        for (ResourceId i = 0; i < n; ++i) {
+            const ResourceId anchor = context.platform->resource(i).physical();
+            auto blocks =
+                context.reservations->blocks_for(i, context.now, context.now + instance.window);
+            for (const ScheduleItem& block : blocks) instance.blocked_time[anchor] += block.duration;
+            instance.blocks[anchor].insert(instance.blocks[anchor].end(), blocks.begin(),
+                                           blocks.end());
+        }
+    }
+    return instance;
+}
+
+ScheduleItem PlanInstance::item_for(std::size_t index, ResourceId i) const {
+    RMWP_EXPECT(index < tasks.size());
+    const PlanTask& task = tasks[index];
+    RMWP_EXPECT(i < task.cpm.size());
+    RMWP_EXPECT(std::isfinite(task.cpm[i]));
+    ScheduleItem item;
+    item.uid = task.uid;
+    item.resource = i;
+    item.release = task.release;
+    item.abs_deadline = task.abs_deadline;
+    item.duration = task.cpm[i];
+    item.pinned_first = task.pinned && i == task.pinned_resource;
+    return item;
+}
+
+std::vector<TaskAssignment> PlanInstance::real_assignments(
+    const std::vector<ResourceId>& mapping) const {
+    RMWP_EXPECT(mapping.size() == tasks.size());
+    std::vector<TaskAssignment> assignments;
+    assignments.reserve(tasks.size());
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+        if (tasks[j].is_predicted) continue;
+        assignments.push_back(TaskAssignment{tasks[j].uid, mapping[j]});
+    }
+    return assignments;
+}
+
+} // namespace rmwp

@@ -1,0 +1,86 @@
+// Materialisation of one RM activation's optimisation instance: the task
+// set S-bar (active tasks + new candidate + optionally the predicted task)
+// with per-resource cpm/epm tables, the planning window K-bar, and
+// convenience conversion to ScheduleItems.  Shared by the heuristic, the
+// branch-and-bound exact optimiser, and the MILP encoder so that all three
+// agree on the instance by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/manager.hpp"
+
+namespace rmwp {
+
+/// One task of the optimisation instance.
+struct PlanTask {
+    TaskUid uid = 0;
+    Time release = 0.0;
+    Time abs_deadline = 0.0;
+    bool pinned = false;
+    ResourceId pinned_resource = 0;
+    bool is_predicted = false;
+    bool is_candidate = false;
+    /// cpm_{j,i} / epm_{j,i} indexed by resource; +inf when not executable.
+    std::vector<double> cpm;
+    std::vector<double> epm;
+    /// Resources the task can execute on (respecting pinning).
+    std::vector<ResourceId> executable;
+
+    [[nodiscard]] Time time_left(Time now) const noexcept { return abs_deadline - now; }
+};
+
+/// The full instance for one activation.
+struct PlanInstance {
+    const Platform* platform = nullptr;
+    Time now = 0.0;
+    Time window = 0.0; ///< K-bar = max_j t_left_j
+    std::vector<PlanTask> tasks; ///< candidate and (if any) predicted are last
+    std::size_t predicted_count = 0; ///< predicted tasks included (at the tail)
+    /// Critical-reservation blocks intersecting the window, per resource.
+    std::vector<std::vector<ScheduleItem>> blocks;
+    /// Reserved time per resource within the window (capacity reduction).
+    std::vector<double> blocked_time;
+
+    [[nodiscard]] bool has_predicted() const noexcept { return predicted_count > 0; }
+
+    /// Build from an activation context.  `predicted_count` selects how
+    /// many of the context's predicted tasks (nearest first) join the
+    /// instance as planning constraints — the Sec 4.1 fallback re-plans
+    /// with 0; bool converts naturally (true = 1 predicted, false = none).
+    [[nodiscard]] static PlanInstance build(const ArrivalContext& context,
+                                            std::size_t predicted_count);
+
+    [[nodiscard]] std::size_t resource_count() const noexcept { return platform->size(); }
+
+    /// ScheduleItem for assigning tasks[index] to resource i.
+    [[nodiscard]] ScheduleItem item_for(std::size_t index, ResourceId i) const;
+
+    /// Convert a per-task resource assignment into Decision assignments for
+    /// the real tasks (predicted excluded).
+    [[nodiscard]] std::vector<TaskAssignment> real_assignments(
+        const std::vector<ResourceId>& mapping) const;
+};
+
+/// The Sec 4.1 admission ladder, generalised to multi-step lookahead:
+/// try planning with all predicted tasks, trimming the furthest prediction
+/// on failure (nearest predictions are the most reliable), down to the
+/// prediction-free plan; reject only when even that fails.  `solve` maps a
+/// PlanInstance to an optional per-task mapping.
+template <typename Solver>
+[[nodiscard]] Decision run_admission_ladder(const ArrivalContext& context, Solver&& solve) {
+    Decision decision;
+    for (std::size_t k = context.predicted.size() + 1; k-- > 0;) {
+        const PlanInstance instance = PlanInstance::build(context, k);
+        if (const auto mapping = solve(instance)) {
+            decision.admitted = true;
+            decision.used_prediction = k > 0;
+            decision.assignments = instance.real_assignments(*mapping);
+            return decision;
+        }
+    }
+    return decision; // reject; the previous mapping stays in force
+}
+
+} // namespace rmwp

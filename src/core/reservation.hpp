@@ -1,0 +1,68 @@
+// Design-time critical-task reservations (Sec 2).
+//
+// The paper integrates safety-critical hard real-time applications by
+// deciding their resource allocation offline and letting the runtime
+// manager "allocate with the highest priority the required resources to the
+// critical applications and continue to apply the adaptive resource
+// allocation technique over the remaining set of resources".
+//
+// A CriticalTask is a periodic reservation: every `period` time units,
+// starting at `offset`, its resource is blocked for `duration`.  The
+// ReservationTable expands these into ScheduleItems (uid space >=
+// kReservedUidBase) that the EDF engine treats as highest-priority,
+// immovable work; both resource managers subtract the blocked time from
+// their knapsack capacities and include the blocks in every schedulability
+// check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "platform/platform.hpp"
+
+namespace rmwp {
+
+/// One design-time-allocated periodic critical task.
+struct CriticalTask {
+    std::string name;
+    ResourceId resource = 0;
+    Time period = 0.0;
+    Time offset = 0.0;   ///< first window start
+    Time duration = 0.0; ///< reserved time per instance
+    double energy_per_instance = 0.0;
+
+    [[nodiscard]] double utilization() const noexcept { return duration / period; }
+};
+
+/// The static reservation schedule the adaptive RM must respect.
+class ReservationTable {
+public:
+    ReservationTable() = default;
+    explicit ReservationTable(std::vector<CriticalTask> tasks);
+
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+    [[nodiscard]] const std::vector<CriticalTask>& tasks() const noexcept { return tasks_; }
+
+    /// Total reserved utilisation of one resource.
+    [[nodiscard]] double utilization_of(ResourceId resource) const noexcept;
+
+    /// Blocked ScheduleItems for `resource` whose windows intersect
+    /// [from, until).  A window already in progress at `from` is clipped to
+    /// its remaining part.  Uids encode (task index, instance number) and
+    /// are stable across calls.
+    [[nodiscard]] std::vector<ScheduleItem> blocks_for(ResourceId resource, Time from,
+                                                       Time until) const;
+
+    /// Blocks for every resource, appended to `out`.
+    void append_blocks(Time from, Time until, std::vector<ScheduleItem>& out) const;
+
+    /// The critical task behind a reserved uid.
+    [[nodiscard]] const CriticalTask& task_of(TaskUid reserved_uid) const;
+
+private:
+    std::vector<CriticalTask> tasks_;
+};
+
+} // namespace rmwp

@@ -1,0 +1,23 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace rmwp {
+
+std::optional<Time> WindowSchedule::completion_of(TaskUid uid) const {
+    const auto it = completion.find(uid);
+    if (it == completion.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<Segment> WindowSchedule::segments_of(TaskUid uid) const {
+    std::vector<Segment> result;
+    for (const auto& timeline : per_resource)
+        for (const Segment& s : timeline.segments)
+            if (s.uid == uid) result.push_back(s);
+    std::sort(result.begin(), result.end(),
+              [](const Segment& a, const Segment& b) { return a.start < b.start; });
+    return result;
+}
+
+} // namespace rmwp

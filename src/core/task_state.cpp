@@ -1,0 +1,37 @@
+#include "core/task_state.hpp"
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+double remaining_time(const ActiveTask& task, const TaskType& type, ResourceId i) {
+    RMWP_EXPECT(task.type == type.id());
+    return type.wcet(i) * task.remaining_fraction;
+}
+
+double remaining_energy(const ActiveTask& task, const TaskType& type, ResourceId i) {
+    RMWP_EXPECT(task.type == type.id());
+    return type.energy(i) * task.remaining_fraction;
+}
+
+bool is_migration(const ActiveTask& task, ResourceId to) noexcept {
+    return task.started && to != task.resource;
+}
+
+double occupied_time(const ActiveTask& task, const TaskType& type, ResourceId to) {
+    const double work = remaining_time(task, type, to);
+    if (is_migration(task, to)) return work + type.migration_time(task.resource, to);
+    if (to == task.resource) return work + task.pending_overhead;
+    return work;
+}
+
+double assignment_energy(const ActiveTask& task, const TaskType& type, ResourceId to) {
+    return remaining_energy(task, type, to) + migration_energy_cost(task, type, to);
+}
+
+double migration_energy_cost(const ActiveTask& task, const TaskType& type, ResourceId to) {
+    if (!is_migration(task, to)) return 0.0;
+    return type.migration_energy(task.resource, to);
+}
+
+} // namespace rmwp

@@ -1,0 +1,69 @@
+// Runtime state of an admitted task instance, and the remaining-cost
+// algebra of Sec 4.1:
+//   cp_{j,i} = c_{j,i} * remaining_fraction        (work not yet executed)
+//   ep_{j,i} = e_{j,i} * remaining_fraction        (energy not yet consumed)
+//   cpm_{j,i} = cp_{j,i} + cm_{j,k,i}  if relocating a started task k -> i
+//   epm_{j,i} = ep_{j,i} + em_{j,k,i}  likewise for energy
+//
+// Progress is tracked as a resource-independent fraction of work done, so
+// the paper's proportional rescaling on migration falls out directly.
+// Migration overhead is modelled as resource time that must elapse before
+// real progress resumes (`pending_overhead`), with the energy overhead
+// charged once at the moment of the migration decision.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/platform.hpp"
+#include "workload/catalog.hpp"
+#include "workload/trace.hpp"
+
+namespace rmwp {
+
+/// Unique id of an admitted task instance within one simulation.
+using TaskUid = std::uint64_t;
+
+/// State of one admitted, unfinished task.
+struct ActiveTask {
+    TaskUid uid = 0;
+    TaskTypeId type = 0;
+    Time arrival = 0.0;
+    Time absolute_deadline = 0.0;
+    ResourceId resource = 0;          ///< current mapping
+    bool started = false;             ///< has made progress (or begun migrating)
+    bool pinned = false;              ///< began executing on a non-preemptable resource
+    double remaining_fraction = 1.0;  ///< fraction of the work not yet executed, in [0, 1]
+    Time pending_overhead = 0.0;      ///< migration time still to be paid on `resource`
+
+    /// Slack until the absolute deadline, t_left_j = s_j + d_j - t.
+    [[nodiscard]] Time time_left(Time now) const noexcept { return absolute_deadline - now; }
+
+    [[nodiscard]] bool finished() const noexcept { return remaining_fraction <= 0.0; }
+};
+
+/// cp_{j,i}: worst-case execution time not yet consumed, on resource i.
+[[nodiscard]] double remaining_time(const ActiveTask& task, const TaskType& type, ResourceId i);
+
+/// ep_{j,i}: average energy not yet consumed, on resource i.
+[[nodiscard]] double remaining_energy(const ActiveTask& task, const TaskType& type, ResourceId i);
+
+/// Whether assigning `task` to `to` constitutes a migration (it has started
+/// somewhere else).  Unstarted tasks can be re-mapped freely: there is no
+/// execution state to move yet.
+[[nodiscard]] bool is_migration(const ActiveTask& task, ResourceId to) noexcept;
+
+/// cpm_{j,i}: occupied resource time if `task` ends up on `to` during the
+/// current window — remaining work plus migration time (or the unpaid part
+/// of a previously started migration when staying put).
+[[nodiscard]] double occupied_time(const ActiveTask& task, const TaskType& type, ResourceId to);
+
+/// epm contribution: remaining energy plus migration-energy overhead if the
+/// assignment relocates a started task.
+[[nodiscard]] double assignment_energy(const ActiveTask& task, const TaskType& type,
+                                       ResourceId to);
+
+/// Migration energy overhead of the assignment (0 when not a migration).
+[[nodiscard]] double migration_energy_cost(const ActiveTask& task, const TaskType& type,
+                                           ResourceId to);
+
+} // namespace rmwp

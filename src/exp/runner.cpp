@@ -1,0 +1,75 @@
+#include "exp/runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+// Fixed stream ids so that adding a new consumer never perturbs the draws
+// of existing ones.
+constexpr std::uint64_t kCatalogStream = 0x0001;
+constexpr std::uint64_t kTraceStream = 0x0002;
+constexpr std::uint64_t kPredictorStream = 0x0003;
+
+Catalog build_catalog(const ExperimentConfig& config, const Platform& platform) {
+    Rng rng = Rng(config.seed).derive(kCatalogStream);
+    return generate_catalog(platform, config.catalog, rng);
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)),
+      platform_(config_.make_platform()),
+      catalog_(build_catalog(config_, platform_)),
+      traces_(generate_traces(catalog_, config_.trace, config_.trace_count,
+                              Rng(config_.seed).derive(kTraceStream))),
+      predictor_root_(Rng(config_.seed).derive(kPredictorStream)) {}
+
+RunOutcome ExperimentRunner::run(const RunSpec& spec) const {
+    const std::unique_ptr<ResourceManager> rm = make_rm(spec.rm);
+    RunOutcome outcome = run_with(*rm, spec.predictor);
+    outcome.spec = spec;
+    return outcome;
+}
+
+RunOutcome ExperimentRunner::run_with(ResourceManager& rm, const PredictorSpec& predictor) const {
+    RunOutcome outcome;
+    outcome.spec.predictor = predictor;
+    outcome.per_trace.reserve(traces_.size());
+
+    for (std::size_t t = 0; t < traces_.size(); ++t) {
+        const Trace& trace = traces_[t];
+
+        PredictorSpec resolved = predictor;
+        if (resolved.overhead_interarrival_coeff != 0.0 && trace.size() >= 2) {
+            resolved.overhead +=
+                resolved.overhead_interarrival_coeff * trace.mean_interarrival();
+            resolved.overhead_interarrival_coeff = 0.0;
+        }
+        const std::unique_ptr<Predictor> instance =
+            make_predictor(resolved, catalog_, predictor_root_.derive(t));
+
+        SimOptions sim_options;
+        sim_options.lookahead = resolved.lookahead;
+        outcome.per_trace.push_back(
+            simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options));
+    }
+
+    outcome.aggregate = AggregateResult::over(outcome.per_trace);
+    return outcome;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0' || value == 0) return fallback;
+    return static_cast<std::size_t>(value);
+}
+
+} // namespace rmwp

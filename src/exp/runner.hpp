@@ -1,0 +1,62 @@
+// The experiment runner: generates the catalog and trace set once per
+// configuration (identical traces feed every RM/predictor pairing, enabling
+// the paired per-trace comparisons of Sec 5.2), then simulates each RunSpec
+// and aggregates the results.
+//
+// Scaling: the paper runs 500 traces x 500 requests per group.  Bench
+// binaries honour RMWP_TRACES and RMWP_REQUESTS environment variables so the
+// full study can be reproduced when time allows; the defaults keep every
+// bench within a laptop-minutes budget while preserving the paper's shapes.
+#pragma once
+
+#include <vector>
+
+#include "exp/config.hpp"
+#include "metrics/aggregate.hpp"
+#include "sim/simulator.hpp"
+
+namespace rmwp {
+
+/// All per-trace results plus their aggregate for one RunSpec.
+struct RunOutcome {
+    RunSpec spec;
+    std::vector<TraceResult> per_trace;
+    AggregateResult aggregate;
+
+    [[nodiscard]] double mean_rejection_percent() const {
+        return aggregate.rejection_percent.mean();
+    }
+    [[nodiscard]] double mean_normalized_energy() const {
+        return aggregate.normalized_energy.mean();
+    }
+};
+
+class ExperimentRunner {
+public:
+    explicit ExperimentRunner(ExperimentConfig config);
+
+    /// Simulate one RM/predictor pairing over every trace.
+    [[nodiscard]] RunOutcome run(const RunSpec& spec) const;
+
+    /// Same, but with a caller-provided resource manager (e.g. a HeuristicRM
+    /// with ablation options).  The RM must be stateless across traces.
+    [[nodiscard]] RunOutcome run_with(ResourceManager& rm, const PredictorSpec& predictor) const;
+
+    [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+    [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+    [[nodiscard]] const std::vector<Trace>& traces() const noexcept { return traces_; }
+
+private:
+    ExperimentConfig config_;
+    Platform platform_;
+    Catalog catalog_;
+    std::vector<Trace> traces_;
+    Rng predictor_root_;
+};
+
+/// Read a size scaling knob from the environment (RMWP_TRACES,
+/// RMWP_REQUESTS, ...), falling back to `fallback` when unset or invalid.
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
+
+} // namespace rmwp

@@ -1,0 +1,75 @@
+#include "metrics/aggregate.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+AggregateResult AggregateResult::over(std::span<const TraceResult> results) {
+    AggregateResult aggregate;
+    for (const TraceResult& r : results) {
+        aggregate.rejection_percent.add(r.rejection_percent());
+        aggregate.normalized_energy.add(r.normalized_energy());
+        aggregate.migrations.add(static_cast<double>(r.migrations));
+        if (r.activations > 0)
+            aggregate.decision_milliseconds_per_activation.add(
+                1000.0 * r.decision_seconds / static_cast<double>(r.activations));
+    }
+    return aggregate;
+}
+
+PairedComparison compare_acceptance(std::span<const TraceResult> a,
+                                    std::span<const TraceResult> b) {
+    RMWP_EXPECT(a.size() == b.size());
+    PairedComparison comparison;
+    comparison.traces = a.size();
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        if (a[t].accepted > b[t].accepted) ++comparison.a_strictly_better;
+        else if (a[t].accepted < b[t].accepted) ++comparison.b_strictly_better;
+        else ++comparison.ties;
+    }
+    return comparison;
+}
+
+PairedTTest paired_rejection_test(std::span<const TraceResult> a,
+                                  std::span<const TraceResult> b) {
+    RMWP_EXPECT(a.size() == b.size());
+    RMWP_EXPECT(a.size() >= 2);
+
+    RunningStats differences;
+    for (std::size_t t = 0; t < a.size(); ++t)
+        differences.add(a[t].rejection_percent() - b[t].rejection_percent());
+
+    PairedTTest test;
+    test.pairs = a.size();
+    test.mean_difference = differences.mean();
+    test.standard_error = differences.standard_error();
+    if (test.standard_error > 0.0) {
+        test.t_statistic = test.mean_difference / test.standard_error;
+        // Two-sided normal-approximation p-value via the complementary
+        // error function.
+        test.p_value = std::erfc(std::abs(test.t_statistic) / std::sqrt(2.0));
+    } else {
+        test.t_statistic = 0.0;
+        test.p_value = test.mean_difference == 0.0 ? 1.0 : 0.0;
+    }
+    return test;
+}
+
+void write_results_csv(std::ostream& os, const std::string& label,
+                       std::span<const TraceResult> results, bool header) {
+    if (header) {
+        os << "label,trace,requests,accepted,rejected,aborted,rejection_percent,"
+              "total_energy,normalized_energy,migrations,critical_energy\n";
+    }
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        const TraceResult& r = results[t];
+        os << label << ',' << t << ',' << r.requests << ',' << r.accepted << ',' << r.rejected
+           << ',' << r.aborted << ',' << r.rejection_percent() << ',' << r.total_energy << ','
+           << r.normalized_energy() << ',' << r.migrations << ',' << r.critical_energy << '\n';
+    }
+}
+
+} // namespace rmwp

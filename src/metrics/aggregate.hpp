@@ -1,0 +1,71 @@
+// Aggregation across traces: mean rejection percentage, mean normalised
+// energy, confidence intervals, and paired comparisons (used for Sec 5.2's
+// "for 88% of traces the MILP acceptance was higher").
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "metrics/trace_result.hpp"
+#include "util/stats.hpp"
+
+namespace rmwp {
+
+struct AggregateResult {
+    Samples rejection_percent;
+    Samples normalized_energy;
+    Samples migrations;
+    Samples decision_milliseconds_per_activation;
+
+    [[nodiscard]] static AggregateResult over(std::span<const TraceResult> results);
+};
+
+/// Paired per-trace comparison of two configurations run on the same traces.
+struct PairedComparison {
+    std::size_t traces = 0;
+    std::size_t a_strictly_better = 0; ///< a accepted strictly more than b
+    std::size_t ties = 0;
+    std::size_t b_strictly_better = 0;
+
+    [[nodiscard]] double a_better_or_equal_percent() const noexcept {
+        return traces == 0 ? 0.0
+                           : 100.0 * static_cast<double>(a_strictly_better + ties) /
+                                 static_cast<double>(traces);
+    }
+    [[nodiscard]] double a_strictly_better_percent() const noexcept {
+        return traces == 0 ? 0.0
+                           : 100.0 * static_cast<double>(a_strictly_better) /
+                                 static_cast<double>(traces);
+    }
+};
+
+/// Compare acceptance counts trace by trace (same length required).
+[[nodiscard]] PairedComparison compare_acceptance(std::span<const TraceResult> a,
+                                                  std::span<const TraceResult> b);
+
+/// Paired significance test on per-trace rejection percentages (a paired
+/// t-test with the normal approximation that is accurate at the trace
+/// counts the benches use).  Positive mean_difference means `a` rejects
+/// more than `b`.
+struct PairedTTest {
+    std::size_t pairs = 0;
+    double mean_difference = 0.0;   ///< mean of (a - b) per trace
+    double standard_error = 0.0;    ///< of the mean difference
+    double t_statistic = 0.0;       ///< mean / SE (0 when SE is 0)
+    double p_value = 1.0;           ///< two-sided, normal approximation
+
+    [[nodiscard]] bool significant(double alpha = 0.05) const noexcept {
+        return p_value < alpha;
+    }
+};
+
+[[nodiscard]] PairedTTest paired_rejection_test(std::span<const TraceResult> a,
+                                                std::span<const TraceResult> b);
+
+/// Write per-trace results as CSV (one row per trace) for external
+/// plotting; `label` is repeated in the first column.
+void write_results_csv(std::ostream& os, const std::string& label,
+                       std::span<const TraceResult> results, bool header = true);
+
+} // namespace rmwp

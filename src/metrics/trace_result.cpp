@@ -1,0 +1,4 @@
+#include "metrics/trace_result.hpp"
+
+// TraceResult is a value type; the implementation lives in the header.
+// This translation unit anchors the library target.

@@ -1,0 +1,63 @@
+// Per-trace outcome of one simulation run: admission counts, energy, and
+// RM bookkeeping — the raw material for every figure of Sec 5.
+#pragma once
+
+#include <cstddef>
+
+namespace rmwp {
+
+struct TraceResult {
+    std::size_t requests = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t completed = 0;
+    /// Admitted tasks that missed their deadline — the firm-real-time
+    /// guarantee means this must be 0; the simulator validates it.
+    std::size_t deadline_misses = 0;
+    /// Admitted tasks aborted because prediction/RM overhead stalls made
+    /// their deadline unreachable (only possible when overhead > 0; their
+    /// firm-real-time result would be useless, so they are dropped).
+    std::size_t aborted = 0;
+
+    double total_energy = 0.0;      ///< execution + migration energy (adaptive tasks)
+    double migration_energy = 0.0;
+    std::size_t migrations = 0;
+    /// Energy consumed by design-time critical reservations within the
+    /// simulated horizon (kept separate from the adaptive total so RM
+    /// comparisons are unaffected by the static workload).
+    double critical_energy = 0.0;
+
+    std::size_t activations = 0;
+    /// Activations whose accepted plan used the predicted task.
+    std::size_t plans_with_prediction = 0;
+    /// Wall-clock seconds spent inside ResourceManager::decide.
+    double decision_seconds = 0.0;
+
+    /// Normalisation reference: the sum over *all* requests (accepted or
+    /// not) of the request's resource-averaged energy.  Dividing by it makes
+    /// energies comparable across traces and RM configurations: a manager
+    /// that accepts more work reports proportionally higher normalised
+    /// energy, which is exactly the effect Fig 3 discusses.
+    double reference_energy = 0.0;
+
+    [[nodiscard]] double rejection_percent() const noexcept {
+        return requests == 0 ? 0.0
+                             : 100.0 * static_cast<double>(rejected) /
+                                   static_cast<double>(requests);
+    }
+    /// Requests that produced no useful result: rejected at admission or
+    /// aborted later because of overhead stalls.
+    [[nodiscard]] double loss_percent() const noexcept {
+        return requests == 0 ? 0.0
+                             : 100.0 * static_cast<double>(rejected + aborted) /
+                                   static_cast<double>(requests);
+    }
+    [[nodiscard]] double acceptance_percent() const noexcept {
+        return requests == 0 ? 0.0 : 100.0 - rejection_percent();
+    }
+    [[nodiscard]] double normalized_energy() const noexcept {
+        return reference_energy <= 0.0 ? 0.0 : total_energy / reference_energy;
+    }
+};
+
+} // namespace rmwp

@@ -1,0 +1,71 @@
+#include "milp/lp.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace rmwp::milp {
+
+int LinearProgram::add_variable(std::string name, double lower, double upper) {
+    RMWP_EXPECT(lower <= upper);
+    variables_.push_back(Variable{std::move(name), lower, upper, /*integral=*/false});
+    objective_.push_back(0.0);
+    return static_cast<int>(variables_.size()) - 1;
+}
+
+int LinearProgram::add_integer_variable(std::string name, double lower, double upper) {
+    const int index = add_variable(std::move(name), lower, upper);
+    variables_[static_cast<std::size_t>(index)].integral = true;
+    return index;
+}
+
+int LinearProgram::add_binary_variable(std::string name) {
+    return add_integer_variable(std::move(name), 0.0, 1.0);
+}
+
+void LinearProgram::set_objective(int variable, double coefficient) {
+    RMWP_EXPECT(variable >= 0 && variable < variable_count());
+    objective_[static_cast<std::size_t>(variable)] = coefficient;
+}
+
+double LinearProgram::objective_coefficient(int variable) const {
+    RMWP_EXPECT(variable >= 0 && variable < variable_count());
+    return objective_[static_cast<std::size_t>(variable)];
+}
+
+int LinearProgram::add_constraint(std::vector<LinearTerm> terms, Relation relation, double rhs,
+                                  std::string name) {
+    // Merge duplicate variables so the tableau sees clean rows.
+    std::map<int, double> merged;
+    for (const LinearTerm& term : terms) {
+        RMWP_EXPECT(term.variable >= 0 && term.variable < variable_count());
+        merged[term.variable] += term.coefficient;
+    }
+    std::vector<LinearTerm> clean;
+    clean.reserve(merged.size());
+    for (const auto& [variable, coefficient] : merged)
+        if (coefficient != 0.0) clean.push_back(LinearTerm{variable, coefficient});
+
+    constraints_.push_back(Constraint{std::move(clean), relation, rhs, std::move(name)});
+    return static_cast<int>(constraints_.size()) - 1;
+}
+
+const Variable& LinearProgram::variable(int index) const {
+    RMWP_EXPECT(index >= 0 && index < variable_count());
+    return variables_[static_cast<std::size_t>(index)];
+}
+
+const Constraint& LinearProgram::constraint(int index) const {
+    RMWP_EXPECT(index >= 0 && index < constraint_count());
+    return constraints_[static_cast<std::size_t>(index)];
+}
+
+void LinearProgram::set_bounds(int variable, double lower, double upper) {
+    RMWP_EXPECT(variable >= 0 && variable < variable_count());
+    RMWP_EXPECT(lower <= upper);
+    variables_[static_cast<std::size_t>(variable)].lower = lower;
+    variables_[static_cast<std::size_t>(variable)].upper = upper;
+}
+
+} // namespace rmwp::milp

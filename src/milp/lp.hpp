@@ -1,0 +1,83 @@
+// A small mixed-integer linear programming toolkit, self-contained so the
+// paper's exact formulation (Sec 4.2) can be encoded literally — big-M
+// conditionals included — without an external solver.
+//
+// lp.hpp      problem representation (variables, bounds, rows, objective)
+// simplex.hpp two-phase dense primal simplex for the LP relaxation
+// milp.hpp    depth-first branch & bound on the integer variables
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmwp::milp {
+
+enum class Relation { less_equal, greater_equal, equal };
+enum class Sense { minimize, maximize };
+
+/// One coefficient of a row or the objective.
+struct LinearTerm {
+    int variable = 0;
+    double coefficient = 0.0;
+};
+
+/// A linear constraint  sum(terms) REL rhs.
+struct Constraint {
+    std::vector<LinearTerm> terms;
+    Relation relation = Relation::less_equal;
+    double rhs = 0.0;
+    std::string name;
+};
+
+/// Variable metadata; bounds may be infinite.
+struct Variable {
+    std::string name;
+    double lower = 0.0;
+    double upper = 0.0;
+    bool integral = false;
+};
+
+/// The problem container.  Variables are referenced by the dense index
+/// returned from add_variable().
+class LinearProgram {
+public:
+    /// Add a continuous variable with the given bounds (may be +/-inf).
+    int add_variable(std::string name, double lower, double upper);
+    /// Add an integral variable (branch & bound enforces integrality).
+    int add_integer_variable(std::string name, double lower, double upper);
+    /// Add a {0, 1} variable.
+    int add_binary_variable(std::string name);
+
+    void set_sense(Sense sense) noexcept { sense_ = sense; }
+    [[nodiscard]] Sense sense() const noexcept { return sense_; }
+
+    /// Set (overwrite) one objective coefficient.
+    void set_objective(int variable, double coefficient);
+    [[nodiscard]] double objective_coefficient(int variable) const;
+
+    /// Add a constraint; terms referencing the same variable are summed.
+    int add_constraint(std::vector<LinearTerm> terms, Relation relation, double rhs,
+                       std::string name = {});
+
+    [[nodiscard]] int variable_count() const noexcept { return static_cast<int>(variables_.size()); }
+    [[nodiscard]] int constraint_count() const noexcept {
+        return static_cast<int>(constraints_.size());
+    }
+    [[nodiscard]] const Variable& variable(int index) const;
+    [[nodiscard]] const Constraint& constraint(int index) const;
+    [[nodiscard]] const std::vector<Variable>& variables() const noexcept { return variables_; }
+    [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+        return constraints_;
+    }
+
+    /// Tighten a variable's bounds (used by branch & bound).
+    void set_bounds(int variable, double lower, double upper);
+
+private:
+    std::vector<Variable> variables_;
+    std::vector<Constraint> constraints_;
+    std::vector<double> objective_;
+    Sense sense_ = Sense::minimize;
+};
+
+} // namespace rmwp::milp

@@ -1,0 +1,113 @@
+#include "milp/milp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmwp::milp {
+namespace {
+
+struct BranchState {
+    LinearProgram problem; ///< working copy whose bounds get tightened
+    const MilpOptions* options = nullptr;
+    double best_objective = 0.0;
+    std::vector<double> best_values;
+    bool have_incumbent = false;
+    std::uint64_t nodes = 0;
+    bool exhausted_budget = false;
+    double sense_sign = 1.0; ///< +1 minimise, -1 maximise
+
+    [[nodiscard]] int most_fractional(const std::vector<double>& values) const {
+        int best = -1;
+        double best_frac = options->integrality_tolerance;
+        for (int v = 0; v < problem.variable_count(); ++v) {
+            if (!problem.variable(v).integral) continue;
+            const double value = values[static_cast<std::size_t>(v)];
+            const double frac = std::abs(value - std::round(value));
+            if (frac > best_frac) {
+                best_frac = frac;
+                best = v;
+            }
+        }
+        return best;
+    }
+
+    void dfs() {
+        if (nodes >= options->node_limit) {
+            exhausted_budget = true;
+            return;
+        }
+        ++nodes;
+
+        const LpSolution relaxed = solve_lp(problem, options->simplex);
+        if (relaxed.status == SolveStatus::infeasible) return;
+        if (relaxed.status != SolveStatus::optimal) {
+            // Unbounded relaxations and iteration limits poison the node: we
+            // cannot bound the subtree, so we conservatively stop claiming
+            // optimality but keep any incumbent.
+            exhausted_budget = true;
+            return;
+        }
+
+        const double bound = sense_sign * relaxed.objective;
+        if (have_incumbent && bound >= sense_sign * best_objective - options->absolute_gap) return;
+
+        const int branch_var = most_fractional(relaxed.values);
+        if (branch_var < 0) {
+            // Integer feasible.
+            if (!have_incumbent || bound < sense_sign * best_objective) {
+                best_objective = relaxed.objective;
+                best_values = relaxed.values;
+                have_incumbent = true;
+            }
+            return;
+        }
+
+        const double value = relaxed.values[static_cast<std::size_t>(branch_var)];
+        const Variable saved = problem.variable(branch_var);
+        const double floor_value = std::floor(value);
+
+        // Down branch: x <= floor(value).
+        if (floor_value >= saved.lower - options->integrality_tolerance) {
+            problem.set_bounds(branch_var, saved.lower, std::min(saved.upper, floor_value));
+            dfs();
+            problem.set_bounds(branch_var, saved.lower, saved.upper);
+        }
+        // Up branch: x >= ceil(value).
+        const double ceil_value = floor_value + 1.0;
+        if (ceil_value <= saved.upper + options->integrality_tolerance) {
+            problem.set_bounds(branch_var, std::max(saved.lower, ceil_value), saved.upper);
+            dfs();
+            problem.set_bounds(branch_var, saved.lower, saved.upper);
+        }
+    }
+};
+
+} // namespace
+
+MilpSolution solve_milp(const LinearProgram& lp, const MilpOptions& options) {
+    BranchState state;
+    state.problem = lp;
+    state.options = &options;
+    state.sense_sign = lp.sense() == Sense::minimize ? 1.0 : -1.0;
+
+    state.dfs();
+
+    MilpSolution solution;
+    solution.nodes = state.nodes;
+    if (state.have_incumbent) {
+        solution.status = SolveStatus::optimal;
+        solution.objective = state.best_objective;
+        solution.values = std::move(state.best_values);
+        solution.proven_optimal = !state.exhausted_budget;
+    } else {
+        solution.status =
+            state.exhausted_budget ? SolveStatus::iteration_limit : SolveStatus::infeasible;
+        solution.proven_optimal = false;
+    }
+    return solution;
+}
+
+} // namespace rmwp::milp

@@ -1,0 +1,31 @@
+// Depth-first branch & bound over the integer variables of a
+// LinearProgram, using the simplex LP relaxation for bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "milp/simplex.hpp"
+
+namespace rmwp::milp {
+
+struct MilpOptions {
+    SimplexOptions simplex;
+    std::uint64_t node_limit = 200000;
+    double integrality_tolerance = 1e-6;
+    /// Gap below which an incumbent stops the search early (absolute).
+    double absolute_gap = 1e-9;
+};
+
+struct MilpSolution {
+    SolveStatus status = SolveStatus::infeasible;
+    double objective = 0.0;
+    std::vector<double> values;
+    std::uint64_t nodes = 0;
+    bool proven_optimal = false; ///< false if the node limit cut the search
+};
+
+/// Solve the MILP.  `status == optimal` means an integer-feasible solution
+/// was found (check proven_optimal for whether the search completed).
+[[nodiscard]] MilpSolution solve_milp(const LinearProgram& lp, const MilpOptions& options = {});
+
+} // namespace rmwp::milp

@@ -1,0 +1,364 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rmwp::milp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// How an original variable maps onto standard-form columns (x' >= 0).
+struct ColumnMap {
+    enum class Kind { shifted, negated, split } kind = Kind::shifted;
+    int column = -1;       ///< primary column
+    int negative_column = -1; ///< second column for split (free) variables
+    double offset = 0.0;   ///< x = offset + x'  (shifted)  or  x = offset - x' (negated)
+};
+
+struct StandardForm {
+    int columns = 0; ///< structural standard-form columns
+    std::vector<ColumnMap> map; ///< per original variable
+    // rows: coefficients over structural columns, all relations normalised
+    // to rhs >= 0.
+    struct Row {
+        std::vector<double> coeffs;
+        Relation relation = Relation::less_equal;
+        double rhs = 0.0;
+    };
+    std::vector<Row> rows;
+    std::vector<double> cost; ///< minimisation cost over structural columns
+    double cost_offset = 0.0;
+    double sign = 1.0; ///< +1 minimise, -1 original was maximise
+};
+
+StandardForm standardise(const LinearProgram& lp) {
+    StandardForm sf;
+    sf.map.resize(static_cast<std::size_t>(lp.variable_count()));
+    sf.sign = lp.sense() == Sense::minimize ? 1.0 : -1.0;
+
+    // Assign columns and record upper-bound rows to add afterwards.
+    struct BoundRow {
+        int column;
+        double rhs;
+    };
+    std::vector<BoundRow> bound_rows;
+    for (int v = 0; v < lp.variable_count(); ++v) {
+        const Variable& var = lp.variable(v);
+        ColumnMap& cm = sf.map[static_cast<std::size_t>(v)];
+        if (std::isfinite(var.lower)) {
+            cm.kind = ColumnMap::Kind::shifted;
+            cm.column = sf.columns++;
+            cm.offset = var.lower;
+            if (std::isfinite(var.upper)) bound_rows.push_back({cm.column, var.upper - var.lower});
+        } else if (std::isfinite(var.upper)) {
+            cm.kind = ColumnMap::Kind::negated;
+            cm.column = sf.columns++;
+            cm.offset = var.upper;
+        } else {
+            cm.kind = ColumnMap::Kind::split;
+            cm.column = sf.columns++;
+            cm.negative_column = sf.columns++;
+        }
+    }
+
+    sf.cost.assign(static_cast<std::size_t>(sf.columns), 0.0);
+    for (int v = 0; v < lp.variable_count(); ++v) {
+        const double c = sf.sign * lp.objective_coefficient(v);
+        if (c == 0.0) continue;
+        const ColumnMap& cm = sf.map[static_cast<std::size_t>(v)];
+        switch (cm.kind) {
+        case ColumnMap::Kind::shifted:
+            sf.cost[static_cast<std::size_t>(cm.column)] += c;
+            sf.cost_offset += c * cm.offset;
+            break;
+        case ColumnMap::Kind::negated:
+            sf.cost[static_cast<std::size_t>(cm.column)] -= c;
+            sf.cost_offset += c * cm.offset;
+            break;
+        case ColumnMap::Kind::split:
+            sf.cost[static_cast<std::size_t>(cm.column)] += c;
+            sf.cost[static_cast<std::size_t>(cm.negative_column)] -= c;
+            break;
+        }
+    }
+
+    auto add_row = [&](const std::vector<double>& coeffs, Relation rel, double rhs) {
+        StandardForm::Row row;
+        row.coeffs = coeffs;
+        row.relation = rel;
+        row.rhs = rhs;
+        if (row.rhs < 0.0) {
+            for (double& a : row.coeffs) a = -a;
+            row.rhs = -row.rhs;
+            if (row.relation == Relation::less_equal) row.relation = Relation::greater_equal;
+            else if (row.relation == Relation::greater_equal) row.relation = Relation::less_equal;
+        }
+        sf.rows.push_back(std::move(row));
+    };
+
+    for (int r = 0; r < lp.constraint_count(); ++r) {
+        const Constraint& con = lp.constraint(r);
+        std::vector<double> coeffs(static_cast<std::size_t>(sf.columns), 0.0);
+        double rhs = con.rhs;
+        for (const LinearTerm& term : con.terms) {
+            const ColumnMap& cm = sf.map[static_cast<std::size_t>(term.variable)];
+            switch (cm.kind) {
+            case ColumnMap::Kind::shifted:
+                coeffs[static_cast<std::size_t>(cm.column)] += term.coefficient;
+                rhs -= term.coefficient * cm.offset;
+                break;
+            case ColumnMap::Kind::negated:
+                coeffs[static_cast<std::size_t>(cm.column)] -= term.coefficient;
+                rhs -= term.coefficient * cm.offset;
+                break;
+            case ColumnMap::Kind::split:
+                coeffs[static_cast<std::size_t>(cm.column)] += term.coefficient;
+                coeffs[static_cast<std::size_t>(cm.negative_column)] -= term.coefficient;
+                break;
+            }
+        }
+        add_row(coeffs, con.relation, rhs);
+    }
+    for (const BoundRow& bound : bound_rows) {
+        std::vector<double> coeffs(static_cast<std::size_t>(sf.columns), 0.0);
+        coeffs[static_cast<std::size_t>(bound.column)] = 1.0;
+        add_row(coeffs, Relation::less_equal, bound.rhs);
+    }
+
+    return sf;
+}
+
+/// Dense tableau with an explicit cost row; columns are
+/// [structural | slack/surplus | artificial | rhs].
+class Tableau {
+public:
+    Tableau(const StandardForm& sf, const SimplexOptions& options)
+        : sf_(sf), options_(options), m_(sf.rows.size()) {
+        // Count auxiliary columns.
+        std::size_t slack = 0;
+        std::size_t artificial = 0;
+        for (const auto& row : sf.rows) {
+            if (row.relation == Relation::less_equal) ++slack;
+            else if (row.relation == Relation::greater_equal) ++slack, ++artificial;
+            else ++artificial;
+        }
+        structural_ = static_cast<std::size_t>(sf.columns);
+        total_ = structural_ + slack + artificial;
+        artificial_begin_ = structural_ + slack;
+
+        a_.assign(m_, std::vector<double>(total_ + 1, 0.0));
+        basis_.assign(m_, 0);
+
+        std::size_t next_slack = structural_;
+        std::size_t next_artificial = artificial_begin_;
+        for (std::size_t i = 0; i < m_; ++i) {
+            const auto& row = sf.rows[i];
+            for (std::size_t j = 0; j < structural_; ++j) a_[i][j] = row.coeffs[j];
+            a_[i][total_] = row.rhs;
+            switch (row.relation) {
+            case Relation::less_equal:
+                a_[i][next_slack] = 1.0;
+                basis_[i] = next_slack++;
+                break;
+            case Relation::greater_equal:
+                a_[i][next_slack] = -1.0;
+                ++next_slack;
+                a_[i][next_artificial] = 1.0;
+                basis_[i] = next_artificial++;
+                break;
+            case Relation::equal:
+                a_[i][next_artificial] = 1.0;
+                basis_[i] = next_artificial++;
+                break;
+            }
+        }
+    }
+
+    /// Run both phases; returns the solver status.
+    SolveStatus solve() {
+        // Phase 1: minimise the artificial sum.
+        cost_.assign(total_ + 1, 0.0);
+        for (std::size_t j = artificial_begin_; j < total_; ++j) cost_[j] = 1.0;
+        for (std::size_t i = 0; i < m_; ++i)
+            if (basis_[i] >= artificial_begin_) subtract_row(i);
+        phase1_ = true;
+        SolveStatus status = iterate();
+        if (status != SolveStatus::optimal) return status;
+        if (-cost_[total_] > 1e-7) return SolveStatus::infeasible;
+        purge_artificials();
+
+        // Phase 2: the real objective.
+        cost_.assign(total_ + 1, 0.0);
+        for (std::size_t j = 0; j < structural_; ++j) cost_[j] = sf_.cost[j];
+        for (std::size_t i = 0; i < m_; ++i) {
+            const double cb = basis_[i] < structural_ ? sf_.cost[basis_[i]] : 0.0;
+            if (cb != 0.0)
+                for (std::size_t j = 0; j <= total_; ++j) cost_[j] -= cb * a_[i][j];
+        }
+        phase1_ = false;
+        return iterate();
+    }
+
+    /// Structural-column values of the current basic solution.
+    [[nodiscard]] std::vector<double> structural_values() const {
+        std::vector<double> x(structural_, 0.0);
+        for (std::size_t i = 0; i < m_; ++i)
+            if (basis_[i] < structural_) x[basis_[i]] = a_[i][total_];
+        return x;
+    }
+
+    [[nodiscard]] int iterations() const noexcept { return iterations_; }
+
+private:
+    void subtract_row(std::size_t i) {
+        for (std::size_t j = 0; j <= total_; ++j) cost_[j] -= a_[i][j];
+    }
+
+    /// After phase 1, pivot remaining artificials out of the basis (or drop
+    /// their rows when redundant) and block the columns from re-entering.
+    void purge_artificials() {
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (basis_[i] < artificial_begin_) continue;
+            std::size_t pivot_col = total_;
+            for (std::size_t j = 0; j < artificial_begin_; ++j) {
+                if (std::abs(a_[i][j]) > 1e-9) {
+                    pivot_col = j;
+                    break;
+                }
+            }
+            if (pivot_col == total_) {
+                // Redundant row: everything is zero; neutralise it.
+                for (std::size_t j = 0; j <= total_; ++j) a_[i][j] = 0.0;
+                dead_rows_.push_back(i);
+                continue;
+            }
+            pivot(i, pivot_col);
+        }
+        artificial_blocked_ = true;
+    }
+
+    SolveStatus iterate() {
+        while (true) {
+            if (iterations_ >= options_.max_iterations) return SolveStatus::iteration_limit;
+            const bool bland = iterations_ >= options_.bland_threshold;
+
+            const std::size_t enter_limit = artificial_blocked_ ? artificial_begin_ : total_;
+            std::size_t entering = total_;
+            double best = -options_.tolerance;
+            for (std::size_t j = 0; j < enter_limit; ++j) {
+                if (cost_[j] < best) {
+                    best = cost_[j];
+                    entering = j;
+                    if (bland) break; // first improving column
+                }
+            }
+            if (entering == total_) return SolveStatus::optimal;
+
+            // Ratio test; ties resolved by the smallest basis index
+            // (lexicographic enough for our problem sizes).
+            std::size_t leaving = m_;
+            double best_ratio = kInf;
+            for (std::size_t i = 0; i < m_; ++i) {
+                if (is_dead(i)) continue;
+                if (a_[i][entering] <= options_.tolerance) continue;
+                const double ratio = a_[i][total_] / a_[i][entering];
+                if (ratio < best_ratio - 1e-12 ||
+                    (ratio < best_ratio + 1e-12 && (leaving == m_ || basis_[i] < basis_[leaving]))) {
+                    best_ratio = ratio;
+                    leaving = i;
+                }
+            }
+            if (leaving == m_) return phase1_ ? SolveStatus::infeasible : SolveStatus::unbounded;
+
+            pivot(leaving, entering);
+            ++iterations_;
+        }
+    }
+
+    [[nodiscard]] bool is_dead(std::size_t row) const {
+        return std::find(dead_rows_.begin(), dead_rows_.end(), row) != dead_rows_.end();
+    }
+
+    void pivot(std::size_t row, std::size_t col) {
+        const double p = a_[row][col];
+        RMWP_ENSURE(std::abs(p) > 1e-12);
+        for (std::size_t j = 0; j <= total_; ++j) a_[row][j] /= p;
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (i == row) continue;
+            const double factor = a_[i][col];
+            if (factor == 0.0) continue;
+            for (std::size_t j = 0; j <= total_; ++j) a_[i][j] -= factor * a_[row][j];
+        }
+        const double cf = cost_[col];
+        if (cf != 0.0)
+            for (std::size_t j = 0; j <= total_; ++j) cost_[j] -= cf * a_[row][j];
+        basis_[row] = col;
+    }
+
+    const StandardForm& sf_;
+    const SimplexOptions& options_;
+    std::size_t m_;
+    std::size_t structural_ = 0;
+    std::size_t total_ = 0;
+    std::size_t artificial_begin_ = 0;
+    std::vector<std::vector<double>> a_;
+    std::vector<double> cost_;
+    std::vector<std::size_t> basis_;
+    std::vector<std::size_t> dead_rows_;
+    bool artificial_blocked_ = false;
+    bool phase1_ = true;
+    int iterations_ = 0;
+};
+
+} // namespace
+
+const char* to_string(SolveStatus status) noexcept {
+    switch (status) {
+    case SolveStatus::optimal: return "optimal";
+    case SolveStatus::infeasible: return "infeasible";
+    case SolveStatus::unbounded: return "unbounded";
+    case SolveStatus::iteration_limit: return "iteration_limit";
+    }
+    return "unknown";
+}
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+    const StandardForm sf = standardise(lp);
+    Tableau tableau(sf, options);
+
+    LpSolution solution;
+    solution.status = tableau.solve();
+    if (solution.status != SolveStatus::optimal) return solution;
+
+    const std::vector<double> x = tableau.structural_values();
+    solution.values.resize(static_cast<std::size_t>(lp.variable_count()));
+    for (int v = 0; v < lp.variable_count(); ++v) {
+        const ColumnMap& cm = sf.map[static_cast<std::size_t>(v)];
+        double value = 0.0;
+        switch (cm.kind) {
+        case ColumnMap::Kind::shifted:
+            value = cm.offset + x[static_cast<std::size_t>(cm.column)];
+            break;
+        case ColumnMap::Kind::negated:
+            value = cm.offset - x[static_cast<std::size_t>(cm.column)];
+            break;
+        case ColumnMap::Kind::split:
+            value = x[static_cast<std::size_t>(cm.column)] -
+                    x[static_cast<std::size_t>(cm.negative_column)];
+            break;
+        }
+        solution.values[static_cast<std::size_t>(v)] = value;
+    }
+
+    solution.objective = 0.0;
+    for (int v = 0; v < lp.variable_count(); ++v)
+        solution.objective +=
+            lp.objective_coefficient(v) * solution.values[static_cast<std::size_t>(v)];
+    return solution;
+}
+
+} // namespace rmwp::milp

@@ -1,0 +1,41 @@
+// Two-phase dense primal simplex for the LP relaxation.
+//
+// Bounded and free variables are reduced to the standard form x >= 0 by
+// shifting/negating/splitting; finite upper bounds become explicit rows.
+// Phase 1 minimises the sum of artificial variables; phase 2 optimises the
+// user objective.  Dantzig pricing with a switch to Bland's rule after a
+// degeneracy threshold guarantees termination.
+#pragma once
+
+#include <vector>
+
+#include "milp/lp.hpp"
+
+namespace rmwp::milp {
+
+enum class SolveStatus {
+    optimal,
+    infeasible,
+    unbounded,
+    iteration_limit,
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+struct LpSolution {
+    SolveStatus status = SolveStatus::iteration_limit;
+    double objective = 0.0;
+    std::vector<double> values; ///< one entry per LinearProgram variable
+};
+
+struct SimplexOptions {
+    int max_iterations = 20000;
+    /// Iterations of Dantzig pricing before switching to Bland's rule.
+    int bland_threshold = 5000;
+    double tolerance = 1e-9;
+};
+
+/// Solve the LP relaxation (integrality ignored).
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+} // namespace rmwp::milp

@@ -1,0 +1,112 @@
+#include "platform/platform.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+Platform::Platform(std::vector<Resource> resources) : resources_(std::move(resources)) {
+    RMWP_EXPECT(!resources_.empty());
+    for (std::size_t i = 0; i < resources_.size(); ++i) {
+        RMWP_EXPECT(resources_[i].id() == i);
+        // A physical anchor is its own physical resource, shares the kind
+        // of its operating points, and runs at nominal frequency.
+        const ResourceId anchor = resources_[i].physical();
+        RMWP_EXPECT(anchor <= i);
+        RMWP_EXPECT(resources_[anchor].physical() == anchor);
+        RMWP_EXPECT(resources_[anchor].kind() == resources_[i].kind());
+        if (anchor == i) RMWP_EXPECT(resources_[i].frequency() == 1.0);
+    }
+}
+
+const Resource& Platform::resource(ResourceId id) const {
+    RMWP_EXPECT(id < resources_.size());
+    return resources_[id];
+}
+
+std::size_t Platform::cpu_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : resources_)
+        if (r.kind() == ResourceKind::cpu) ++n;
+    return n;
+}
+
+std::size_t Platform::non_preemptable_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : resources_)
+        if (!r.preemptable()) ++n;
+    return n;
+}
+
+std::size_t Platform::physical_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : resources_)
+        if (r.physical() == r.id()) ++n;
+    return n;
+}
+
+bool Platform::has_dvfs() const noexcept { return physical_count() != resources_.size(); }
+
+PlatformBuilder& PlatformBuilder::add(ResourceKind kind, std::string name) {
+    const ResourceId id = resources_.size();
+    if (name.empty()) name = std::string(to_string(kind)) + std::to_string(id);
+    resources_.emplace_back(id, kind, std::move(name));
+    return *this;
+}
+
+PlatformBuilder& PlatformBuilder::add_cpu(std::string name) {
+    return add(ResourceKind::cpu, std::move(name));
+}
+
+PlatformBuilder& PlatformBuilder::add_gpu(std::string name) {
+    return add(ResourceKind::gpu, std::move(name));
+}
+
+PlatformBuilder& PlatformBuilder::add_accelerator(std::string name) {
+    return add(ResourceKind::accelerator, std::move(name));
+}
+
+PlatformBuilder& PlatformBuilder::add_cpu_with_dvfs(std::vector<double> levels,
+                                                    std::string name) {
+    RMWP_EXPECT(!levels.empty());
+    RMWP_EXPECT(levels.front() == 1.0);
+    for (std::size_t k = 1; k < levels.size(); ++k) {
+        RMWP_EXPECT(levels[k] > 0.0);
+        RMWP_EXPECT(levels[k] < levels[k - 1]);
+    }
+    const ResourceId anchor = resources_.size();
+    if (name.empty()) name = "cpu" + std::to_string(anchor);
+    for (const double level : levels) {
+        const ResourceId id = resources_.size();
+        std::string level_name = name;
+        if (levels.size() > 1) {
+            std::string frequency = std::to_string(level);
+            frequency.erase(frequency.find_last_not_of('0') + 1);
+            if (frequency.back() == '.') frequency.pop_back();
+            level_name += "@" + frequency;
+        }
+        resources_.emplace_back(id, ResourceKind::cpu, std::move(level_name), anchor, level);
+    }
+    return *this;
+}
+
+Platform PlatformBuilder::build() {
+    RMWP_EXPECT(!resources_.empty());
+    return Platform(std::move(resources_));
+}
+
+Platform make_paper_platform() {
+    PlatformBuilder builder;
+    for (int i = 1; i <= 5; ++i) builder.add_cpu("CPU" + std::to_string(i));
+    builder.add_gpu("GPU");
+    return builder.build();
+}
+
+Platform make_motivational_platform() {
+    PlatformBuilder builder;
+    builder.add_cpu("CPU1").add_cpu("CPU2").add_gpu("GPU");
+    return builder.build();
+}
+
+} // namespace rmwp

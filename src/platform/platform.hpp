@@ -1,0 +1,66 @@
+// The heterogeneous platform: an immutable collection of resources plus the
+// factory functions for the configurations used in the paper (Sec 3's
+// 2 CPU + 1 GPU motivational platform, Sec 5.1's 5 CPU + 1 GPU evaluation
+// platform).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/resource.hpp"
+
+namespace rmwp {
+
+/// Immutable set of resources r_1..r_N.  ResourceIds are dense [0, size).
+class Platform {
+public:
+    explicit Platform(std::vector<Resource> resources);
+
+    [[nodiscard]] std::size_t size() const noexcept { return resources_.size(); }
+    [[nodiscard]] const Resource& resource(ResourceId id) const;
+    [[nodiscard]] const std::vector<Resource>& resources() const noexcept { return resources_; }
+
+    [[nodiscard]] std::size_t cpu_count() const noexcept;
+    [[nodiscard]] std::size_t non_preemptable_count() const noexcept;
+
+    /// Number of physical cores (operating points of one core count once).
+    [[nodiscard]] std::size_t physical_count() const noexcept;
+    /// Whether any resource exposes multiple operating points.
+    [[nodiscard]] bool has_dvfs() const noexcept;
+
+    [[nodiscard]] auto begin() const noexcept { return resources_.begin(); }
+    [[nodiscard]] auto end() const noexcept { return resources_.end(); }
+
+private:
+    std::vector<Resource> resources_;
+};
+
+/// Incrementally assembles a Platform with dense ids and default names.
+class PlatformBuilder {
+public:
+    PlatformBuilder& add_cpu(std::string name = {});
+    PlatformBuilder& add_gpu(std::string name = {});
+    PlatformBuilder& add_accelerator(std::string name = {});
+    PlatformBuilder& add(ResourceKind kind, std::string name = {});
+
+    /// Add a DVFS-capable CPU exposing one Resource entry per frequency
+    /// level.  `levels` are fractions of nominal frequency, strictly
+    /// decreasing, starting with 1.0 (the canonical full-speed entry whose
+    /// id is the core's physical id).  Entries are named
+    /// "<name>@<frequency>".
+    PlatformBuilder& add_cpu_with_dvfs(std::vector<double> levels, std::string name = {});
+
+    [[nodiscard]] Platform build();
+
+private:
+    std::vector<Resource> resources_;
+};
+
+/// Sec 5.1 evaluation platform: five CPUs and one GPU.
+[[nodiscard]] Platform make_paper_platform();
+
+/// Sec 3 motivational platform: two CPUs and one GPU
+/// (resource order: CPU1 = 0, CPU2 = 1, GPU = 2, matching Table 1).
+[[nodiscard]] Platform make_motivational_platform();
+
+} // namespace rmwp

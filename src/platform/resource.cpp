@@ -1,0 +1,30 @@
+#include "platform/resource.hpp"
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+const char* to_string(ResourceKind kind) noexcept {
+    switch (kind) {
+    case ResourceKind::cpu: return "cpu";
+    case ResourceKind::gpu: return "gpu";
+    case ResourceKind::accelerator: return "accelerator";
+    }
+    return "unknown";
+}
+
+Resource::Resource(ResourceId id, ResourceKind kind, std::string name)
+    : id_(id), kind_(kind), name_(std::move(name)), physical_(id) {
+    RMWP_EXPECT(!name_.empty());
+}
+
+Resource::Resource(ResourceId id, ResourceKind kind, std::string name, ResourceId physical_id,
+                   double frequency)
+    : id_(id), kind_(kind), name_(std::move(name)), physical_(physical_id),
+      frequency_(frequency) {
+    RMWP_EXPECT(!name_.empty());
+    RMWP_EXPECT(frequency_ > 0.0 && frequency_ <= 1.0);
+    RMWP_EXPECT(physical_ <= id);
+}
+
+} // namespace rmwp

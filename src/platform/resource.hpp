@@ -1,0 +1,70 @@
+// A single computation resource of the heterogeneous platform (Sec 2).
+//
+// The distinction the paper cares about is preemptability: CPUs allow a task
+// to be suspended and resumed (or migrated) mid-execution, while GPU-like
+// resources force a started task to run to the end.  Everything else that
+// makes a resource "different" (speed, energy) lives in the per-task-type
+// WCET/energy tables of the workload model, matching the paper's
+// resource-indexed c_{j,i} / e_{j,i} formulation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rmwp {
+
+/// Index of a resource within its Platform.
+using ResourceId = std::size_t;
+
+/// Broad resource class; determines default preemptability.
+enum class ResourceKind {
+    cpu,         ///< general-purpose core; preemptable
+    gpu,         ///< throughput accelerator; started tasks run to the end
+    accelerator, ///< fixed-function block; non-preemptable like a GPU
+};
+
+[[nodiscard]] const char* to_string(ResourceKind kind) noexcept;
+
+/// One computation resource r_i — or, on DVFS-capable platforms, one
+/// *operating point* of a physical core.
+///
+/// DVFS (named in the paper's intro as one of the RM's decision types) is
+/// modelled by giving each frequency level of a core its own Resource entry
+/// that shares the core's `physical()` id: the workload tables carry the
+/// level-scaled WCET/energy (time x 1/f, energy x f^2 under the usual
+/// V-proportional-to-f CMOS model), the mapper picks among the entries like
+/// any other resource, and the schedule engine serialises everything that
+/// shares a physical core onto one timeline.
+class Resource {
+public:
+    Resource(ResourceId id, ResourceKind kind, std::string name);
+    /// Operating-point constructor: a level of the physical core
+    /// `physical_id` running at `frequency` (fraction of nominal, in
+    /// (0, 1]).
+    Resource(ResourceId id, ResourceKind kind, std::string name, ResourceId physical_id,
+             double frequency);
+
+    [[nodiscard]] ResourceId id() const noexcept { return id_; }
+    [[nodiscard]] ResourceKind kind() const noexcept { return kind_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// The physical core this entry occupies; entries with equal physical()
+    /// share one execution timeline.  Equals id() on non-DVFS resources.
+    [[nodiscard]] ResourceId physical() const noexcept { return physical_; }
+
+    /// Operating frequency as a fraction of nominal (1.0 = full speed).
+    [[nodiscard]] double frequency() const noexcept { return frequency_; }
+
+    /// Whether a task executing on this resource may be preempted, resumed,
+    /// or migrated away before completion.
+    [[nodiscard]] bool preemptable() const noexcept { return kind_ == ResourceKind::cpu; }
+
+private:
+    ResourceId id_;
+    ResourceKind kind_;
+    std::string name_;
+    ResourceId physical_;
+    double frequency_ = 1.0;
+};
+
+} // namespace rmwp

@@ -1,0 +1,168 @@
+#include "predict/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+TwoPhaseInterarrivalEstimator::TwoPhaseInterarrivalEstimator(double ewma_alpha)
+    : alpha_(ewma_alpha) {
+    RMWP_EXPECT(ewma_alpha > 0.0 && ewma_alpha <= 1.0);
+}
+
+void TwoPhaseInterarrivalEstimator::observe(double gap) {
+    RMWP_EXPECT(gap >= 0.0);
+    if (count_ == 0) {
+        // Seed both regimes around the first observation, slightly apart so
+        // the assignment step can separate a bimodal stream.
+        centers_[0] = gap * 0.5;
+        centers_[1] = gap * 1.5;
+        ewma_[0] = gap;
+        ewma_[1] = gap;
+        global_ewma_ = gap;
+    }
+    ++count_;
+
+    const int phase = std::abs(gap - centers_[0]) <= std::abs(gap - centers_[1]) ? 0 : 1;
+    ++center_count_[phase];
+    const double step = 1.0 / static_cast<double>(center_count_[phase]);
+    centers_[phase] += step * (gap - centers_[phase]);
+    ewma_[phase] += alpha_ * (gap - ewma_[phase]);
+    global_ewma_ += alpha_ * (gap - global_ewma_);
+    last_phase_ = phase;
+}
+
+double TwoPhaseInterarrivalEstimator::predict() const noexcept {
+    // On a unimodal stream the two "regimes" are just the two halves of one
+    // distribution; following the last draw's half would bias the estimate.
+    // Only trust the phase model when the regimes are genuinely separated.
+    const double spread = std::abs(centers_[1] - centers_[0]);
+    const double scale = 0.5 * (centers_[0] + centers_[1]);
+    if (scale <= 0.0 || spread < scale) return global_ewma_;
+    return ewma_[last_phase_];
+}
+
+MarkovTypeChain::MarkovTypeChain(std::size_t type_count)
+    : type_count_(type_count),
+      transition_(type_count, std::vector<std::uint32_t>(type_count, 0)),
+      marginal_(type_count, 0) {
+    RMWP_EXPECT(type_count > 0);
+}
+
+void MarkovTypeChain::observe(TaskTypeId from, TaskTypeId to) {
+    RMWP_EXPECT(from < type_count_ && to < type_count_);
+    ++transition_[from][to];
+    ++marginal_[to];
+}
+
+void MarkovTypeChain::observe_first(TaskTypeId first) {
+    RMWP_EXPECT(first < type_count_);
+    ++marginal_[first];
+}
+
+TaskTypeId MarkovTypeChain::predict(TaskTypeId from) const {
+    RMWP_EXPECT(from < type_count_);
+    const auto& row = transition_[from];
+    const auto row_best = std::max_element(row.begin(), row.end());
+    if (*row_best > 0) return static_cast<TaskTypeId>(row_best - row.begin());
+    // Cold row: fall back to the global mode.
+    const auto global_best = std::max_element(marginal_.begin(), marginal_.end());
+    return static_cast<TaskTypeId>(global_best - marginal_.begin());
+}
+
+OnlinePredictor::OnlinePredictor(const Catalog& catalog, Time overhead, double ewma_alpha)
+    : chain_(catalog.size()),
+      interarrival_(ewma_alpha),
+      type_deadline_ewma_(catalog.size(), 0.0),
+      type_deadline_seen_(catalog.size(), false),
+      ewma_alpha_(ewma_alpha),
+      overhead_(overhead) {
+    RMWP_EXPECT(overhead >= 0.0);
+}
+
+void OnlinePredictor::observe(const Trace& trace, std::size_t index) {
+    const Request& request = trace.request(index);
+
+    if (have_last_prediction_) {
+        ++type_predictions_;
+        if (last_predicted_type_ == request.type) ++type_hits_;
+        have_last_prediction_ = false;
+    }
+
+    if (index == 0) {
+        chain_.observe_first(request.type);
+    } else {
+        const Request& previous = trace.request(index - 1);
+        chain_.observe(previous.type, request.type);
+        interarrival_.observe(request.arrival - previous.arrival);
+    }
+
+    if (!type_deadline_seen_[request.type]) {
+        type_deadline_ewma_[request.type] = request.relative_deadline;
+        type_deadline_seen_[request.type] = true;
+    } else {
+        type_deadline_ewma_[request.type] +=
+            ewma_alpha_ * (request.relative_deadline - type_deadline_ewma_[request.type]);
+    }
+    if (!global_deadline_seen_) {
+        global_deadline_ewma_ = request.relative_deadline;
+        global_deadline_seen_ = true;
+    } else {
+        global_deadline_ewma_ += ewma_alpha_ * (request.relative_deadline - global_deadline_ewma_);
+    }
+}
+
+std::optional<PredictedTask> OnlinePredictor::predict_next(const Trace& trace, std::size_t index,
+                                                           Time now) {
+    if (index + 1 >= trace.size()) return std::nullopt;
+    // Cold start: without at least one observed gap there is no timing model.
+    if (interarrival_.observations() == 0) return std::nullopt;
+
+    const Request& current = trace.request(index);
+
+    PredictedTask predicted;
+    predicted.type = chain_.predict(current.type);
+    predicted.arrival = std::max(current.arrival + interarrival_.predict(), now);
+    predicted.relative_deadline = type_deadline_seen_[predicted.type]
+                                      ? type_deadline_ewma_[predicted.type]
+                                      : global_deadline_ewma_;
+    if (predicted.relative_deadline <= 0.0) return std::nullopt;
+
+    last_predicted_type_ = predicted.type;
+    have_last_prediction_ = true;
+    return predicted;
+}
+
+std::vector<PredictedTask> OnlinePredictor::predict_horizon(const Trace& trace,
+                                                            std::size_t index, Time now,
+                                                            std::size_t depth) {
+    std::vector<PredictedTask> horizon;
+    if (depth == 0 || index + 1 >= trace.size()) return horizon;
+    if (interarrival_.observations() == 0) return horizon;
+
+    TaskTypeId type = trace.request(index).type;
+    Time arrival = trace.request(index).arrival;
+    const double gap = interarrival_.predict();
+    for (std::size_t k = 1; k <= depth && index + k < trace.size(); ++k) {
+        type = chain_.predict(type);
+        arrival += gap;
+        const double deadline = type_deadline_seen_[type] ? type_deadline_ewma_[type]
+                                                          : global_deadline_ewma_;
+        if (deadline <= 0.0) break;
+        horizon.push_back(PredictedTask{type, std::max(arrival, now), deadline});
+        if (k == 1) {
+            last_predicted_type_ = type;
+            have_last_prediction_ = true;
+        }
+    }
+    return horizon;
+}
+
+double OnlinePredictor::realized_type_accuracy() const noexcept {
+    if (type_predictions_ == 0) return 0.0;
+    return static_cast<double>(type_hits_) / static_cast<double>(type_predictions_);
+}
+
+} // namespace rmwp

@@ -1,0 +1,94 @@
+// An actual runtime predictor, in the spirit of the authors' prior work on
+// workload prediction [12, 13]: low inference overhead, learned online.
+//
+//  * Task type: a first-order Markov chain over type ids with add-one
+//    smoothing; the predicted identity is the most frequent successor of
+//    the type that just arrived (falls back to the global mode while cold).
+//  * Arrival time: a two-phase interarrival estimator.  Observed gaps are
+//    softly clustered into two regimes ("fast" bursts vs "slow" lulls) by an
+//    online 2-means; the next gap is predicted as the EWMA of the regime the
+//    most recent gap belonged to.  With the paper's unimodal Gaussian gaps
+//    the two regimes converge and the estimator degrades gracefully to a
+//    plain EWMA; on bimodal streams it tracks phase switches.
+//  * Deadline: per-type EWMA of the observed relative deadline, with a
+//    global EWMA fallback while a type is cold.
+#pragma once
+
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace rmwp {
+
+/// Online 2-means over interarrival gaps with per-regime EWMA prediction.
+class TwoPhaseInterarrivalEstimator {
+public:
+    explicit TwoPhaseInterarrivalEstimator(double ewma_alpha = 0.2);
+
+    void observe(double gap);
+    /// Predicted next gap; meaningful after >= 1 observation.
+    [[nodiscard]] double predict() const noexcept;
+    [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+
+private:
+    double alpha_;
+    double centers_[2] = {0.0, 0.0};
+    double ewma_[2] = {0.0, 0.0};
+    double global_ewma_ = 0.0;
+    std::size_t center_count_[2] = {0, 0};
+    int last_phase_ = 0;
+    std::size_t count_ = 0;
+};
+
+/// First-order Markov chain over task-type ids.
+class MarkovTypeChain {
+public:
+    explicit MarkovTypeChain(std::size_t type_count);
+
+    void observe(TaskTypeId from, TaskTypeId to);
+    void observe_first(TaskTypeId first);
+    /// Most likely successor of `from`; global mode when `from` is cold.
+    [[nodiscard]] TaskTypeId predict(TaskTypeId from) const;
+
+private:
+    std::size_t type_count_;
+    std::vector<std::vector<std::uint32_t>> transition_; ///< [from][to] counts
+    std::vector<std::uint32_t> marginal_;                ///< overall type counts
+};
+
+class OnlinePredictor final : public Predictor {
+public:
+    OnlinePredictor(const Catalog& catalog, Time overhead = 0.0, double ewma_alpha = 0.2);
+
+    [[nodiscard]] std::string name() const override { return "online"; }
+    void observe(const Trace& trace, std::size_t index) override;
+    [[nodiscard]] std::optional<PredictedTask> predict_next(const Trace& trace, std::size_t index,
+                                                            Time now) override;
+    /// Markov-chain rollout: step k's type is the most likely successor of
+    /// step k-1's, arrivals accumulate the current gap estimate.
+    [[nodiscard]] std::vector<PredictedTask> predict_horizon(const Trace& trace,
+                                                             std::size_t index, Time now,
+                                                             std::size_t depth) override;
+    [[nodiscard]] Time overhead() const noexcept override { return overhead_; }
+
+    /// Fraction of type predictions that turned out correct so far.
+    [[nodiscard]] double realized_type_accuracy() const noexcept;
+
+private:
+    MarkovTypeChain chain_;
+    TwoPhaseInterarrivalEstimator interarrival_;
+    std::vector<double> type_deadline_ewma_;
+    std::vector<bool> type_deadline_seen_;
+    double global_deadline_ewma_ = 0.0;
+    bool global_deadline_seen_ = false;
+    double ewma_alpha_;
+    Time overhead_;
+
+    // Self-scoring of the identity predictions.
+    std::size_t type_predictions_ = 0;
+    std::size_t type_hits_ = 0;
+    TaskTypeId last_predicted_type_ = 0;
+    bool have_last_prediction_ = false;
+};
+
+} // namespace rmwp

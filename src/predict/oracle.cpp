@@ -1,0 +1,31 @@
+#include "predict/oracle.hpp"
+
+#include <algorithm>
+
+namespace rmwp {
+
+std::optional<PredictedTask> OraclePredictor::predict_next(const Trace& trace, std::size_t index,
+                                                           Time now) {
+    if (index + 1 >= trace.size()) return std::nullopt;
+    const Request& next = trace.request(index + 1);
+    PredictedTask predicted;
+    predicted.type = next.type;
+    // A prediction made at `now` cannot claim an arrival in the past.
+    predicted.arrival = std::max(next.arrival, now);
+    predicted.relative_deadline = next.relative_deadline;
+    return predicted;
+}
+
+std::vector<PredictedTask> OraclePredictor::predict_horizon(const Trace& trace, std::size_t index,
+                                                            Time now, std::size_t depth) {
+    std::vector<PredictedTask> horizon;
+    horizon.reserve(depth);
+    for (std::size_t k = 1; k <= depth && index + k < trace.size(); ++k) {
+        const Request& next = trace.request(index + k);
+        horizon.push_back(
+            PredictedTask{next.type, std::max(next.arrival, now), next.relative_deadline});
+    }
+    return horizon;
+}
+
+} // namespace rmwp

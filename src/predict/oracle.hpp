@@ -1,0 +1,27 @@
+// Perfectly accurate prediction: the next request's type, arrival time, and
+// deadline are read straight from the trace.  This is the "predictor on"
+// configuration of Sec 5.3 (accurate prediction, zero error).
+#pragma once
+
+#include "predict/predictor.hpp"
+
+namespace rmwp {
+
+class OraclePredictor final : public Predictor {
+public:
+    explicit OraclePredictor(Time overhead = 0.0) : overhead_(overhead) {}
+
+    [[nodiscard]] std::string name() const override { return "oracle"; }
+    void observe(const Trace&, std::size_t) override {}
+    [[nodiscard]] std::optional<PredictedTask> predict_next(const Trace& trace, std::size_t index,
+                                                            Time now) override;
+    [[nodiscard]] std::vector<PredictedTask> predict_horizon(const Trace& trace,
+                                                             std::size_t index, Time now,
+                                                             std::size_t depth) override;
+    [[nodiscard]] Time overhead() const noexcept override { return overhead_; }
+
+private:
+    Time overhead_;
+};
+
+} // namespace rmwp

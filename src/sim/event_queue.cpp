@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+void EventQueue::schedule(Time time, std::uint32_t kind, std::uint64_t payload,
+                          std::uint64_t group) {
+    RMWP_EXPECT(!cancelled_groups_.contains(group));
+    queue_.push(Entry{Event{time, kind, payload, group}, next_sequence_++});
+    ++total_scheduled_;
+}
+
+void EventQueue::cancel_group(std::uint64_t group) { cancelled_groups_.insert(group); }
+
+void EventQueue::drop_cancelled() {
+    while (!queue_.empty() && cancelled_groups_.contains(queue_.top().event.group)) queue_.pop();
+}
+
+bool EventQueue::empty() {
+    drop_cancelled();
+    return queue_.empty();
+}
+
+Event EventQueue::pop() {
+    drop_cancelled();
+    RMWP_EXPECT(!queue_.empty());
+    const Event event = queue_.top().event;
+    queue_.pop();
+    return event;
+}
+
+Time EventQueue::next_time() {
+    drop_cancelled();
+    RMWP_EXPECT(!queue_.empty());
+    return queue_.top().event.time;
+}
+
+} // namespace rmwp

@@ -1,0 +1,65 @@
+// A small discrete-event simulation kernel: a time-ordered event queue with
+// stable FIFO ordering for simultaneous events and O(1) lazy cancellation.
+//
+// Cancellation is by generation counter: cancel_group(g) invalidates every
+// event scheduled under generation g.  The resource-management simulator
+// uses this to drop stale completion events whenever the RM re-plans.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+
+#include "workload/trace.hpp"
+
+namespace rmwp {
+
+/// Event payload: a small POD the simulation interprets.
+struct Event {
+    Time time = 0.0;
+    std::uint32_t kind = 0;     ///< simulation-defined discriminator
+    std::uint64_t payload = 0;  ///< simulation-defined data (e.g. a task uid)
+    std::uint64_t group = 0;    ///< cancellation group
+};
+
+class EventQueue {
+public:
+    /// Schedule an event; events at equal times pop in insertion order.
+    void schedule(Time time, std::uint32_t kind, std::uint64_t payload, std::uint64_t group = 0);
+
+    /// Invalidate every event scheduled under `group` (lazy: they are
+    /// discarded on pop).
+    void cancel_group(std::uint64_t group);
+
+    /// True when no valid events remain.
+    [[nodiscard]] bool empty();
+
+    /// Pop the earliest valid event.  Requires !empty().
+    [[nodiscard]] Event pop();
+
+    /// Time of the earliest valid event.  Requires !empty().
+    [[nodiscard]] Time next_time();
+
+    [[nodiscard]] std::size_t scheduled_count() const noexcept { return total_scheduled_; }
+
+private:
+    struct Entry {
+        Event event;
+        std::uint64_t sequence = 0;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.event.time != b.event.time) return a.event.time > b.event.time;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    void drop_cancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_groups_;
+    std::uint64_t next_sequence_ = 0;
+    std::size_t total_scheduled_ = 0;
+};
+
+} // namespace rmwp

@@ -1,0 +1,414 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr double kFractionEps = 1e-9;
+constexpr double kTimeEps = 1e-6;
+
+constexpr std::uint32_t kArrivalEvent = 0;
+constexpr std::uint32_t kCompletionEvent = 1;
+constexpr std::uint32_t kActivationEvent = 2;
+
+class Simulation {
+public:
+    Simulation(const Platform& platform, const Catalog& catalog, const Trace& trace,
+               ResourceManager& rm, Predictor& predictor,
+               const ReservationTable* reservations, const SimOptions& options)
+        : platform_(platform),
+          catalog_(catalog),
+          trace_(trace),
+          rm_(rm),
+          predictor_(predictor),
+          reservations_(reservations),
+          options_(options),
+          execution_rng_(options.execution_seed) {}
+
+    TraceResult run() {
+        result_.requests = trace_.size();
+        for (const Request& request : trace_)
+            result_.reference_energy += catalog_.type(request.type).mean_energy();
+
+        for (std::size_t j = 0; j < trace_.size(); ++j)
+            events_.schedule(trace_.request(j).arrival, kArrivalEvent, j);
+
+        while (!events_.empty()) {
+            const Event event = events_.pop();
+            if (event.kind == kArrivalEvent) {
+                if (options_.activation_period > 0.0) {
+                    enqueue_for_batch(static_cast<std::size_t>(event.payload));
+                } else {
+                    handle_arrival(static_cast<std::size_t>(event.payload));
+                }
+            } else if (event.kind == kActivationEvent) {
+                handle_activation(event.time);
+            } else {
+                advance(event.time);
+                // The completion event is only valid for the current plan
+                // generation, so the task must really be gone by now.
+                if (options_.validate) RMWP_ENSURE(find_task(event.payload) == nullptr);
+                // With execution-time variation the completion was (likely)
+                // earlier than the WCET plan assumed: re-plan immediately so
+                // queued tasks reclaim the slack.
+                if (options_.execution_time_factor_min < 1.0) rebuild(event.time);
+            }
+        }
+        advance(std::numeric_limits<Time>::infinity());
+        RMWP_ENSURE(active_.empty());
+        return result_;
+    }
+
+private:
+    [[nodiscard]] ActiveTask* find_task(TaskUid uid) {
+        for (ActiveTask& task : active_)
+            if (task.uid == uid) return &task;
+        return nullptr;
+    }
+
+    /// Fraction of the WCET this task actually needs (1.0 without the
+    /// execution-time-variation extension).
+    [[nodiscard]] double actual_work(TaskUid uid) const {
+        const auto it = actual_work_.find(uid);
+        return it == actual_work_.end() ? 1.0 : it->second;
+    }
+
+    /// Execute the current window schedule from the last advance point up
+    /// to `to`: progress fractions, consume migration overhead, accrue
+    /// energy, and retire completed tasks.
+    void advance(Time to) {
+        const Time from = clock_;
+        to = std::max(to, from);
+        for (ResourceId i = 0; i < platform_.size(); ++i) {
+            if (schedule_.per_resource.size() <= i) break;
+            const bool non_preemptable = !platform_.resource(i).preemptable();
+            for (const Segment& segment : schedule_.per_resource[i].segments) {
+                if (segment.start >= to) break;
+                // Only the part of the segment inside (from, to] is new work;
+                // earlier advances already consumed the prefix.
+                const Time begin = std::max(segment.start, from);
+                const Time executed_until = std::min(segment.end, to);
+                const double duration = executed_until - begin;
+                if (duration <= 0.0) continue;
+
+                if (is_reserved_uid(segment.uid)) {
+                    // Critical reservation: accrue its energy pro rata.
+                    const CriticalTask& critical = reservations_->task_of(segment.uid);
+                    result_.critical_energy +=
+                        duration / critical.duration * critical.energy_per_instance;
+                    continue;
+                }
+                ActiveTask* task = find_task(segment.uid);
+                RMWP_ENSURE(task != nullptr);
+                task->started = true;
+                if (non_preemptable) task->pinned = true;
+
+                const double overhead = std::min(task->pending_overhead, duration);
+                task->pending_overhead -= overhead;
+                const double progress_time = duration - overhead;
+                // Progress and energy rates come from the task's mapped
+                // resource entry (its operating point on DVFS platforms);
+                // `i` is the physical timeline the segment lives on.
+                const TaskType& type = catalog_.type(task->type);
+                const double wcet = type.wcet(task->resource);
+                double fraction = std::min(progress_time / wcet, task->remaining_fraction);
+
+                // Early completion: the task's real work can be less than
+                // its WCET budget; it finishes the moment the actual work is
+                // done, mid-segment.
+                const double done_before = 1.0 - task->remaining_fraction;
+                const double actual = actual_work(task->uid);
+                Time completed_at = -1.0;
+                if (done_before + fraction >= actual - kFractionEps) {
+                    fraction = std::max(0.0, actual - done_before);
+                    completed_at = begin + overhead + fraction * wcet;
+                }
+
+                result_.total_energy += fraction * type.energy(task->resource);
+                task->remaining_fraction -= fraction;
+
+                if (completed_at >= 0.0) {
+                    task->remaining_fraction = 0.0;
+                    ++result_.completed;
+                    if (completed_at > task->absolute_deadline + kTimeEps) {
+                        ++result_.deadline_misses;
+                        if (options_.validate) RMWP_ENSURE(false); // firm guarantee violated
+                    }
+                }
+            }
+        }
+        std::erase_if(active_, [](const ActiveTask& task) { return task.finished(); });
+        clock_ = std::max(clock_, std::min(to, schedule_horizon()));
+    }
+
+    [[nodiscard]] Time schedule_horizon() const {
+        Time latest = clock_;
+        for (const ResourceTimeline& timeline : schedule_.per_resource)
+            if (!timeline.segments.empty())
+                latest = std::max(latest, timeline.segments.back().end);
+        return latest;
+    }
+
+    /// Run the decision wake-up protocol at `wake`: advance (or stall)
+    /// execution and return the decision instant.
+    [[nodiscard]] Time wake_up(Time wake) {
+        const Time overhead = predictor_.overhead();
+        Time decision_time = std::max(wake + overhead, clock_);
+        if (overhead > 0.0 && options_.overhead_stalls_platform) {
+            // The manager runs on the platform: execution halts during the
+            // decision window.  Progress stops at the wake-up; the clock
+            // jumps to the decision time with the skipped segments left
+            // unexecuted (rebuild() re-plans the remaining work from there).
+            advance(wake);
+            decision_time = std::max(wake, clock_) + overhead;
+            clock_ = decision_time;
+            abort_doomed(decision_time);
+        } else {
+            advance(decision_time);
+        }
+        return decision_time;
+    }
+
+    /// Decide on one request at `decision_time` (no rebuild; the caller
+    /// rebuilds once after a batch).
+    void process_request(std::size_t index, Time decision_time) {
+        const Request& request = trace_.request(index);
+        predictor_.observe(trace_, index);
+
+        ActiveTask candidate;
+        candidate.uid = static_cast<TaskUid>(index);
+        candidate.type = request.type;
+        candidate.arrival = request.arrival;
+        candidate.absolute_deadline = request.absolute_deadline();
+
+        // A request whose deadline already passed while waiting for the
+        // activation boundary cannot be served.
+        if (candidate.absolute_deadline <= decision_time + kTimeEps) {
+            ++result_.rejected;
+            return;
+        }
+
+        ArrivalContext context;
+        context.now = decision_time;
+        context.platform = &platform_;
+        context.catalog = &catalog_;
+        context.active = active_;
+        context.candidate = candidate;
+        context.predicted =
+            predictor_.predict_horizon(trace_, index, decision_time, options_.lookahead);
+        context.reservations = reservations_;
+
+        const auto started = std::chrono::steady_clock::now();
+        const Decision decision = rm_.decide(context);
+        const auto finished = std::chrono::steady_clock::now();
+        result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
+
+        if (decision.admitted) {
+            ++result_.accepted;
+            if (decision.used_prediction) ++result_.plans_with_prediction;
+            apply(decision, candidate);
+        } else {
+            ++result_.rejected;
+        }
+    }
+
+    void handle_arrival(std::size_t index) {
+        const Time decision_time = wake_up(trace_.request(index).arrival);
+        ++result_.activations;
+        process_request(index, decision_time);
+        rebuild(decision_time);
+    }
+
+    void enqueue_for_batch(std::size_t index) {
+        pending_.push_back(index);
+        const Time arrival = trace_.request(index).arrival;
+        const double periods = std::ceil(arrival / options_.activation_period);
+        const Time boundary = std::max(periods * options_.activation_period, arrival);
+        if (boundary > last_activation_scheduled_ + kTimeEps) {
+            events_.schedule(boundary, kActivationEvent, 0);
+            last_activation_scheduled_ = boundary;
+        }
+    }
+
+    void handle_activation(Time boundary) {
+        if (pending_.empty()) return;
+        const Time decision_time = wake_up(boundary);
+        ++result_.activations;
+        for (const std::size_t index : pending_) process_request(index, decision_time);
+        pending_.clear();
+        rebuild(decision_time);
+    }
+
+    void apply(const Decision& decision, const ActiveTask& candidate) {
+        for (const TaskAssignment& assignment : decision.assignments) {
+            if (assignment.uid == candidate.uid) {
+                ActiveTask admitted = candidate;
+                admitted.resource = assignment.resource;
+                active_.push_back(admitted);
+                if (options_.execution_time_factor_min < 1.0) {
+                    actual_work_[admitted.uid] =
+                        execution_rng_.uniform(options_.execution_time_factor_min, 1.0);
+                }
+                continue;
+            }
+            ActiveTask* task = find_task(assignment.uid);
+            RMWP_ENSURE(task != nullptr);
+            if (assignment.resource == task->resource) continue;
+            RMWP_ENSURE(!task->pinned); // non-preemptable tasks never move
+            const bool physical_move = platform_.resource(task->resource).physical() !=
+                                       platform_.resource(assignment.resource).physical();
+            if (task->started) {
+                const TaskType& type = catalog_.type(task->type);
+                // Relocation replaces any unpaid migration time with the new
+                // pair's cost — exactly what occupied_time() plans with.  A
+                // level switch on the same core costs nothing and moves no
+                // state, so it is not counted as a migration.
+                task->pending_overhead =
+                    type.migration_time(task->resource, assignment.resource);
+                if (physical_move) {
+                    const double energy =
+                        type.migration_energy(task->resource, assignment.resource);
+                    result_.total_energy += energy;
+                    result_.migration_energy += energy;
+                    ++result_.migrations;
+                }
+            }
+            task->resource = assignment.resource;
+        }
+    }
+
+    [[nodiscard]] WindowSchedule plan_current(Time now,
+                                              std::vector<ScheduleItem>* items_out = nullptr) const {
+        std::vector<ScheduleItem> items;
+        items.reserve(active_.size());
+        Time horizon = now;
+        for (const ActiveTask& task : active_) {
+            items.push_back(
+                make_schedule_item(task, catalog_.type(task.type), task.resource, now));
+            horizon = std::max(horizon, task.absolute_deadline);
+        }
+        if (reservations_ != nullptr && !reservations_->empty())
+            reservations_->append_blocks(now, horizon, items);
+        if (items_out != nullptr) *items_out = items;
+        return build_window_schedule(platform_, now, items);
+    }
+
+    /// Overhead stalls can make a previously guaranteed task unable to meet
+    /// its deadline; such tasks are aborted before the RM decides (firm
+    /// real-time: a late result is useless, and keeping the doomed task
+    /// would unfairly poison the admission check for the arriving one).
+    void abort_doomed(Time now) {
+        while (true) {
+            std::vector<ScheduleItem> items;
+            const WindowSchedule schedule = plan_current(now, &items);
+            if (schedule.feasible) return;
+            const std::size_t before = active_.size();
+            std::erase_if(active_, [&](const ActiveTask& task) {
+                const auto completion = schedule.completion_of(task.uid);
+                return completion.has_value() &&
+                       *completion > task.absolute_deadline + kTimeEps;
+            });
+            if (active_.size() == before) {
+                // No adaptive task misses its own deadline, so the
+                // infeasibility is a *reservation* made late (e.g. a pinned
+                // task overrunning into a reserved window after a stall).
+                // Kill one adaptive occupant of each violated resource.
+                for (const ScheduleItem& item : items) {
+                    if (!item.reserved) continue;
+                    const auto completion = schedule.completion_of(item.uid);
+                    if (!completion || *completion <= item.abs_deadline + kTimeEps) continue;
+                    bool removed = false;
+                    std::erase_if(active_, [&](const ActiveTask& task) {
+                        if (removed || task.resource != item.resource) return false;
+                        removed = true;
+                        return true;
+                    });
+                }
+                RMWP_ENSURE(active_.size() < before);
+            }
+            result_.aborted += before - active_.size();
+        }
+    }
+
+    /// When the task's real work is below its WCET budget, its completion
+    /// falls inside the planned segments: walk them (overhead first, then
+    /// work) to the actual finish instant.
+    [[nodiscard]] Time actual_completion(const ActiveTask& task, Time planned) const {
+        const double actual = actual_work(task.uid);
+        if (actual >= 1.0) return planned;
+        const TaskType& type = catalog_.type(task.type);
+        double work_left = std::max(0.0, actual - (1.0 - task.remaining_fraction)) *
+                           type.wcet(task.resource);
+        double overhead_left = task.pending_overhead;
+        for (const Segment& segment : schedule_.segments_of(task.uid)) {
+            double duration = segment.duration();
+            const double overhead = std::min(overhead_left, duration);
+            overhead_left -= overhead;
+            duration -= overhead;
+            if (duration >= work_left - 1e-12) return segment.start + overhead + work_left;
+            work_left -= duration;
+        }
+        return planned;
+    }
+
+    /// Rebuild the execution schedule (real tasks on their current
+    /// resources) and refresh completion events under a new generation.
+    void rebuild(Time now) {
+        schedule_ = plan_current(now);
+        if (options_.validate) RMWP_ENSURE(schedule_.feasible);
+
+        events_.cancel_group(generation_);
+        ++generation_;
+        for (const ActiveTask& task : active_) {
+            const auto completion = schedule_.completion_of(task.uid);
+            RMWP_ENSURE(completion.has_value());
+            events_.schedule(actual_completion(task, *completion), kCompletionEvent, task.uid,
+                             generation_);
+        }
+    }
+
+    const Platform& platform_;
+    const Catalog& catalog_;
+    const Trace& trace_;
+    ResourceManager& rm_;
+    Predictor& predictor_;
+    const ReservationTable* reservations_ = nullptr;
+    SimOptions options_;
+
+    std::vector<ActiveTask> active_;
+    WindowSchedule schedule_;
+    EventQueue events_;
+    Time clock_ = 0.0;
+    std::uint64_t generation_ = 1;
+    TraceResult result_;
+    Rng execution_rng_;
+    /// Hidden actual work per task (fraction of WCET); the RM never sees it.
+    std::unordered_map<TaskUid, double> actual_work_;
+    /// Periodic-activation state.
+    std::vector<std::size_t> pending_;
+    Time last_activation_scheduled_ = -1.0;
+};
+
+} // namespace
+
+TraceResult simulate_trace(const Platform& platform, const Catalog& catalog, const Trace& trace,
+                           ResourceManager& rm, Predictor& predictor, const SimOptions& options) {
+    Simulation simulation(platform, catalog, trace, rm, predictor, nullptr, options);
+    return simulation.run();
+}
+
+TraceResult simulate_trace(const Platform& platform, const Catalog& catalog, const Trace& trace,
+                           ResourceManager& rm, Predictor& predictor,
+                           const ReservationTable& reservations, const SimOptions& options) {
+    Simulation simulation(platform, catalog, trace, rm, predictor, &reservations, options);
+    return simulation.run();
+}
+
+} // namespace rmwp

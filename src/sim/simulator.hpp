@@ -1,0 +1,83 @@
+// The trace-driven simulation protocol of Sec 5: a discrete-event loop that
+// feeds each request to the resource manager, executes the planned window
+// schedules between activations, and accounts energy, migrations, and
+// admission outcomes.
+//
+// Event flow per arrival:
+//   1. execution is advanced from the previous event to the decision time
+//      (arrival + prediction overhead) along the current window schedule —
+//      tasks progress, complete, consume energy;
+//   2. the predictor observes the arrival and produces the lookahead;
+//   3. the RM decides admission + the new mapping for the whole active set;
+//   4. migrations implied by the new mapping are charged (energy now, time
+//      as pending overhead on the target resource);
+//   5. the execution schedule (real tasks only — the predicted task is a
+//      planning constraint, never an occupant) is rebuilt and stale
+//      completion events are cancelled.
+#pragma once
+
+#include <memory>
+
+#include "core/manager.hpp"
+#include "core/reservation.hpp"
+#include "metrics/trace_result.hpp"
+#include "predict/predictor.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/catalog.hpp"
+#include "workload/trace.hpp"
+
+namespace rmwp {
+
+struct SimOptions {
+    /// Re-verify every accepted plan and every completed task against the
+    /// firm-deadline guarantee (cheap; on by default — a violation is a bug
+    /// in an RM, not a property of the workload).
+    bool validate = true;
+    /// Sec 5.5 overhead model.  When true (default), the prediction+RM
+    /// overhead stalls the whole platform: the manager runs on the managed
+    /// cores, so no task makes progress during the decision window — each
+    /// activation costs overhead/interarrival of total capacity, which is
+    /// what makes even perfect prediction lose once the overhead reaches a
+    /// few percent of the mean interarrival time (Fig 5).  When false, the
+    /// overhead only delays the decision (tasks keep running) and merely
+    /// consumes the arriving task's deadline slack — a strictly milder
+    /// model, kept for comparison.
+    bool overhead_stalls_platform = true;
+    /// How many upcoming requests the predictor is asked for (the paper's
+    /// RM plans with 1; more is the lookahead extension).
+    std::size_t lookahead = 1;
+    /// Execution-time variation (extension; 1.0 reproduces the paper's
+    /// WCET-exact evaluation).  Each admitted task's *actual* work is a
+    /// uniformly random fraction in [execution_time_factor_min, 1] of its
+    /// WCET.  The RM keeps planning with the pessimistic WCET; the
+    /// simulator detects early completions and immediately re-plans, so the
+    /// reclaimed slack benefits queued tasks (work-conserving).
+    double execution_time_factor_min = 1.0;
+    /// Seed for the per-task execution-time draws (independent of the
+    /// workload generation seeds).
+    std::uint64_t execution_seed = 0;
+    /// RM activation policy (extension; 0 reproduces the paper's
+    /// activation on every arrival).  With a positive period the manager
+    /// wakes only at period boundaries and decides on all requests that
+    /// arrived since the previous activation, in arrival order: queueing
+    /// delay consumes deadline slack, but any per-activation prediction
+    /// overhead (Fig 5) is paid once per batch instead of once per request.
+    Time activation_period = 0.0;
+};
+
+/// Run one trace against one RM + predictor.  The predictor is stateful and
+/// must be freshly constructed per run.
+[[nodiscard]] TraceResult simulate_trace(const Platform& platform, const Catalog& catalog,
+                                         const Trace& trace, ResourceManager& rm,
+                                         Predictor& predictor, const SimOptions& options = {});
+
+/// Same, with design-time critical reservations (Sec 2): the reserved
+/// windows execute with absolute priority, their energy is accounted in
+/// TraceResult::critical_energy, and the adaptive RM plans around them.
+[[nodiscard]] TraceResult simulate_trace(const Platform& platform, const Catalog& catalog,
+                                         const Trace& trace, ResourceManager& rm,
+                                         Predictor& predictor,
+                                         const ReservationTable& reservations,
+                                         const SimOptions& options = {});
+
+} // namespace rmwp

@@ -1,0 +1,46 @@
+// Runtime contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw, so
+// tests can assert on them and callers can recover at a library boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rmwp {
+
+/// Thrown when a precondition (RMWP_EXPECT) is violated.
+class precondition_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or invariant (RMWP_ENSURE) is violated.
+class postcondition_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_expect(const char* cond, const char* file, int line) {
+    throw precondition_error(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                             std::to_string(line));
+}
+
+[[noreturn]] inline void fail_ensure(const char* cond, const char* file, int line) {
+    throw postcondition_error(std::string("postcondition failed: ") + cond + " at " + file + ":" +
+                              std::to_string(line));
+}
+
+} // namespace detail
+} // namespace rmwp
+
+#define RMWP_EXPECT(cond)                                                 \
+    do {                                                                  \
+        if (!(cond)) ::rmwp::detail::fail_expect(#cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define RMWP_ENSURE(cond)                                                 \
+    do {                                                                  \
+        if (!(cond)) ::rmwp::detail::fail_ensure(#cond, __FILE__, __LINE__); \
+    } while (false)

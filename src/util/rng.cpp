@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rmwp {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+} // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+    // Seed expansion per the reference implementation's recommendation.
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+
+Rng Rng::derive(std::uint64_t stream_id) const noexcept {
+    // Mix the parent seed with the stream id through splitmix64 twice so
+    // that nearby ids map to distant seeds.
+    std::uint64_t s = seed_ ^ (0xa0761d6478bd642fULL * (stream_id + 1));
+    const std::uint64_t a = splitmix64(s);
+    const std::uint64_t b = splitmix64(s);
+    return Rng(a ^ rotl(b, 32));
+}
+
+double Rng::uniform01() noexcept {
+    // 53 random bits into the mantissa: uniform on [0, 1).
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    RMWP_EXPECT(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    RMWP_EXPECT(lo <= hi);
+    const std::uint64_t range = hi - lo + 1; // range == 0 means the full 2^64 span
+    if (range == 0) return engine_();
+    // Debiased modulo by rejection (bounded iterations in expectation).
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range + 1) % range;
+    std::uint64_t draw = engine_();
+    while (draw > limit) draw = engine_();
+    return lo + draw % range;
+}
+
+std::size_t Rng::index(std::size_t n) {
+    RMWP_EXPECT(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+std::size_t Rng::index_excluding(std::size_t n, std::size_t excluded) {
+    RMWP_EXPECT(n > 1);
+    RMWP_EXPECT(excluded < n);
+    // Draw from [0, n-2] and skip over the excluded slot.
+    const std::size_t draw = static_cast<std::size_t>(uniform_int(0, n - 2));
+    return draw >= excluded ? draw + 1 : draw;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+    RMWP_EXPECT(stddev >= 0.0);
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return mean + stddev * cached_gaussian_;
+    }
+    // Box-Muller; u1 must be strictly positive for the log.
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::gaussian_above(double mean, double stddev, double lo) {
+    RMWP_EXPECT(mean > lo);
+    double draw = gaussian(mean, stddev);
+    // Resampling keeps the upper tail intact; the acceptance probability is
+    // high for every use in this repository (lo is several sigma below the
+    // mean), so this terminates quickly.
+    while (draw <= lo) draw = gaussian(mean, stddev);
+    return draw;
+}
+
+bool Rng::bernoulli(double p) {
+    RMWP_EXPECT(p >= 0.0 && p <= 1.0);
+    return uniform01() < p;
+}
+
+} // namespace rmwp

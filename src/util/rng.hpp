@@ -1,0 +1,95 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::normal_distribution and friends are implementation-defined, so the
+// same seed yields different traces on different standard libraries.  All
+// experiments in this repository must be bit-reproducible from a seed, so we
+// implement the generator (xoshiro256**), the seeding scheme (splitmix64),
+// and the samplers (Box-Muller Gaussian, Lemire-style bounded integers)
+// ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state and
+/// to derive independent child streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 by Blackman & Vigna — small, fast, and high quality.
+class Xoshiro256StarStar {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256StarStar(std::uint64_t seed) noexcept;
+
+    result_type operator()() noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+};
+
+/// High-level sampling facade bound to one deterministic stream.
+///
+/// A single experiment seed fans out into per-trace / per-component child
+/// streams through derive(), so adding a consumer in one place never
+/// perturbs the draws seen by another.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) noexcept;
+
+    /// Child stream that is statistically independent of this one.  The
+    /// (seed, stream_id) pair fully determines the child sequence.
+    [[nodiscard]] Rng derive(std::uint64_t stream_id) const noexcept;
+
+    /// Uniform in [0, 1).
+    double uniform01() noexcept;
+
+    /// Uniform in [lo, hi).  Requires lo <= hi.
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+    std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+    /// Index uniform in [0, n).  Requires n > 0.
+    std::size_t index(std::size_t n);
+
+    /// Index uniform in [0, n) excluding `excluded`.  Requires n > 1.
+    std::size_t index_excluding(std::size_t n, std::size_t excluded);
+
+    /// Gaussian with the given mean and standard deviation (Box-Muller).
+    double gaussian(double mean, double stddev);
+
+    /// Gaussian truncated (by resampling) to values > lo.
+    double gaussian_above(double mean, double stddev, double lo);
+
+    /// Bernoulli draw with probability p of returning true.
+    bool bernoulli(double p);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        if (v.empty()) return;
+        for (std::size_t i = v.size() - 1; i > 0; --i) {
+            using std::swap;
+            swap(v[i], v[index(i + 1)]);
+        }
+    }
+
+    std::uint64_t raw() noexcept { return engine_(); }
+
+private:
+    Xoshiro256StarStar engine_;
+    std::uint64_t seed_;
+    bool has_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace rmwp

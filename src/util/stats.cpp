@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+    RMWP_EXPECT(n_ > 0);
+    return mean_;
+}
+
+double RunningStats::variance() const {
+    RMWP_EXPECT(n_ > 1);
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+    RMWP_EXPECT(n_ > 0);
+    return min_;
+}
+
+double RunningStats::max() const {
+    RMWP_EXPECT(n_ > 0);
+    return max_;
+}
+
+double RunningStats::standard_error() const {
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void Samples::add(double x) {
+    values_.push_back(x);
+    stats_.add(x);
+    sorted_valid_ = false;
+}
+
+double Samples::quantile(double q) const {
+    RMWP_EXPECT(!values_.empty());
+    RMWP_EXPECT(q >= 0.0 && q <= 1.0);
+    if (!sorted_valid_) {
+        sorted_ = values_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+    if (sorted_.size() == 1) return sorted_.front();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::ci_halfwidth(double level) const {
+    RMWP_EXPECT(level > 0.0 && level < 1.0);
+    // Normal-approximation z for the common levels; defaults are all this
+    // repository uses, so a tiny table beats pulling in an inverse-erf.
+    double z = 1.959963984540054; // 95%
+    if (level < 0.925) z = 1.6448536269514722; // 90%
+    else if (level > 0.975) z = 2.5758293035489004; // 99%
+    return z * stats_.standard_error();
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+    RMWP_EXPECT(predicted.size() == actual.size());
+    RMWP_EXPECT(!predicted.empty());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double e = predicted[i] - actual[i];
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double nrmse(std::span<const double> predicted, std::span<const double> actual) {
+    double mean_abs = 0.0;
+    for (const double a : actual) mean_abs += std::abs(a);
+    mean_abs /= static_cast<double>(actual.size());
+    RMWP_EXPECT(mean_abs > 0.0);
+    return rmse(predicted, actual) / mean_abs;
+}
+
+} // namespace rmwp

@@ -1,0 +1,83 @@
+// Small statistics toolkit used by the experiment harness and tests:
+// streaming moments (Welford), sample collections with quantiles and
+// confidence intervals, and error metrics (RMSE / NRMSE) used to calibrate
+// the noisy predictor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rmwp {
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+    /// Mean of the observed samples.  Requires count() > 0.
+    [[nodiscard]] double mean() const;
+    /// Unbiased sample variance.  Requires count() > 1.
+    [[nodiscard]] double variance() const;
+    /// Unbiased sample standard deviation.  Requires count() > 1.
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+    /// Standard error of the mean.  Requires count() > 1.
+    [[nodiscard]] double standard_error() const;
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Sample container with order statistics on top of RunningStats.
+class Samples {
+public:
+    void add(double x);
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+    [[nodiscard]] double mean() const { return stats_.mean(); }
+    [[nodiscard]] double stddev() const { return stats_.stddev(); }
+    [[nodiscard]] double min() const { return stats_.min(); }
+    [[nodiscard]] double max() const { return stats_.max(); }
+    [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
+
+    /// Linear-interpolation quantile, q in [0, 1].  Requires non-empty.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double median() const { return quantile(0.5); }
+
+    /// Half-width of the normal-approximation confidence interval around the
+    /// mean at the given level (0.95 -> 1.96 sigma).  Requires count() > 1.
+    [[nodiscard]] double ci_halfwidth(double level = 0.95) const;
+
+    [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+private:
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+    RunningStats stats_;
+};
+
+/// Root mean square error between predictions and truths (same length, > 0).
+[[nodiscard]] double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// RMSE normalised by the mean magnitude of the actual values.
+[[nodiscard]] double nrmse(std::span<const double> predicted, std::span<const double> actual);
+
+} // namespace rmwp

@@ -1,0 +1,88 @@
+// Trace generation per Sec 5.1:
+//  * arrivals start at 0 and advance by Gaussian interarrival gaps;
+//  * each arrival is assigned a uniformly random task type;
+//  * the relative deadline is RWCET * C, where RWCET is the WCET on a
+//    randomly selected (executable) resource and C is drawn uniformly from
+//    [1.5, 2] for the very-tight (VT) group or [2, 6] for the less-tight
+//    (LT) group.
+//
+// Calibration note (see DESIGN.md §5 and EXPERIMENTS.md): the paper prints
+// interarrival ~ Gaussian(1.2, 0.4^2) next to WCETs of ~40 ms, which is
+// inconsistent as written (either ~0% or ~100% rejection depending on the
+// unit read).  We keep the Gaussian shape and the paper's CV (stddev/mean =
+// 1/3) and calibrate the mean so the no-prediction operating point matches
+// the paper's reported 24.5% / 31% rejection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/trace.hpp"
+
+namespace rmwp {
+
+/// Deadline tightness groups of Sec 5.1.
+enum class DeadlineGroup {
+    very_tight, ///< VT: C in [1.5, 2]
+    less_tight, ///< LT: C in [2, 6]
+};
+
+[[nodiscard]] const char* to_string(DeadlineGroup group) noexcept;
+
+/// Arrival-process models.  The paper uses i.i.d. Gaussian gaps; the
+/// two-phase model (extension) alternates between a burst and a lull regime
+/// — the structure the authors' prior work [12] exploits for prediction and
+/// the one the online predictor's phase-aware estimator targets.
+enum class ArrivalModel {
+    gaussian,  ///< i.i.d. Gaussian(interarrival_mean, interarrival_stddev^2)
+    two_phase, ///< Markov-modulated: burst/lull regimes with geometric dwell
+};
+
+/// Knobs for generate_trace(); defaults reproduce Sec 5.1 (with the
+/// calibrated interarrival mean; see the header comment).
+struct TraceGenParams {
+    std::size_t length = 500;
+    /// Calibrated default (see EXPERIMENTS.md): keeps the paper's CV of 1/3
+    /// while placing the system in the moderate-contention regime where the
+    /// paper's prediction mechanism (reserving the non-preemptable GPU for
+    /// predicted urgent tasks) is visible.
+    double interarrival_mean = 6.0;
+    double interarrival_stddev = 2.0;
+    DeadlineGroup group = DeadlineGroup::very_tight;
+
+    // --- extensions (defaults reproduce the paper exactly) ---
+
+    ArrivalModel arrival_model = ArrivalModel::gaussian;
+    /// two_phase regimes: the burst regime's mean gap is
+    /// interarrival_mean * burst_scale, the lull's interarrival_mean *
+    /// lull_scale (both with the Gaussian CV of the base parameters); the
+    /// regime switches after each request with `phase_switch_probability`.
+    double burst_scale = 0.4;
+    double lull_scale = 2.0;
+    double phase_switch_probability = 0.05;
+
+    /// Temporal structure over task identities: with this probability the
+    /// next request's type follows a per-trace random successor permutation
+    /// of the previous type (learnable by a first-order Markov predictor);
+    /// otherwise it is uniform, as in the paper.  0 = the paper's i.i.d.
+    /// type choice.
+    double type_correlation = 0.0;
+
+    [[nodiscard]] double deadline_coefficient_min() const noexcept;
+    [[nodiscard]] double deadline_coefficient_max() const noexcept;
+
+    void validate() const;
+};
+
+/// Generate one trace.  Deterministic in `rng`.
+[[nodiscard]] Trace generate_trace(const Catalog& catalog, const TraceGenParams& params, Rng& rng);
+
+/// Generate `count` traces from independent child streams of `rng`, so any
+/// single trace can be regenerated without generating its predecessors.
+[[nodiscard]] std::vector<Trace> generate_traces(const Catalog& catalog,
+                                                 const TraceGenParams& params, std::size_t count,
+                                                 const Rng& rng);
+
+} // namespace rmwp

@@ -1,0 +1,181 @@
+#include "workload/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream is(line);
+    while (std::getline(is, field, ',')) fields.push_back(field);
+    return fields;
+}
+
+double parse_value(const std::string& text) {
+    if (text == "inf") return std::numeric_limits<double>::infinity();
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    RMWP_EXPECT(consumed == text.size());
+    return value;
+}
+
+std::string render_value(double value) {
+    if (std::isinf(value)) return "inf";
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+std::ifstream open_input(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    return is;
+}
+
+std::ofstream open_output(const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    return os;
+}
+
+} // namespace
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+    os << "arrival,type,relative_deadline\n";
+    for (const Request& r : trace) {
+        os << render_value(r.arrival) << ',' << r.type << ','
+           << render_value(r.relative_deadline) << '\n';
+    }
+}
+
+Trace read_trace_csv(std::istream& is) {
+    std::string line;
+    RMWP_EXPECT(static_cast<bool>(std::getline(is, line))); // header
+    RMWP_EXPECT(line == "arrival,type,relative_deadline");
+
+    std::vector<Request> requests;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const auto fields = split_csv_line(line);
+        RMWP_EXPECT(fields.size() == 3);
+        Request r;
+        r.arrival = parse_value(fields[0]);
+        r.type = static_cast<TaskTypeId>(std::stoull(fields[1]));
+        r.relative_deadline = parse_value(fields[2]);
+        requests.push_back(r);
+    }
+    return Trace(std::move(requests));
+}
+
+void write_trace_csv_file(const std::string& path, const Trace& trace) {
+    auto os = open_output(path);
+    write_trace_csv(os, trace);
+}
+
+Trace read_trace_csv_file(const std::string& path) {
+    auto is = open_input(path);
+    return read_trace_csv(is);
+}
+
+void write_catalog_csv(std::ostream& os, const Catalog& catalog) {
+    os << "type,resource,wcet,energy\n";
+    for (const TaskType& t : catalog) {
+        for (std::size_t i = 0; i < t.resource_count(); ++i) {
+            os << t.id() << ',' << i << ',' << render_value(t.wcet(i)) << ','
+               << render_value(t.energy(i)) << '\n';
+        }
+    }
+    os << "#migration\n";
+    for (const TaskType& t : catalog) {
+        for (std::size_t from = 0; from < t.resource_count(); ++from) {
+            for (std::size_t to = 0; to < t.resource_count(); ++to) {
+                if (from == to) continue;
+                os << t.id() << ',' << from << ',' << to << ','
+                   << render_value(t.migration_time(from, to)) << ','
+                   << render_value(t.migration_energy(from, to)) << '\n';
+            }
+        }
+    }
+}
+
+Catalog read_catalog_csv(std::istream& is) {
+    std::string line;
+    RMWP_EXPECT(static_cast<bool>(std::getline(is, line)));
+    RMWP_EXPECT(line == "type,resource,wcet,energy");
+
+    struct TypeData {
+        std::map<std::size_t, std::pair<double, double>> cost; // resource -> (wcet, energy)
+        std::map<std::pair<std::size_t, std::size_t>, std::pair<double, double>> migration;
+    };
+    std::map<std::size_t, TypeData> data;
+
+    bool in_migration = false;
+    std::size_t resource_count = 0;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (line == "#migration") {
+            in_migration = true;
+            continue;
+        }
+        const auto fields = split_csv_line(line);
+        if (!in_migration) {
+            RMWP_EXPECT(fields.size() == 4);
+            const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
+            const auto resource = static_cast<std::size_t>(std::stoull(fields[1]));
+            data[type].cost[resource] = {parse_value(fields[2]), parse_value(fields[3])};
+            resource_count = std::max(resource_count, resource + 1);
+        } else {
+            RMWP_EXPECT(fields.size() == 5);
+            const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
+            const auto from = static_cast<std::size_t>(std::stoull(fields[1]));
+            const auto to = static_cast<std::size_t>(std::stoull(fields[2]));
+            data[type].migration[{from, to}] = {parse_value(fields[3]), parse_value(fields[4])};
+        }
+    }
+    RMWP_EXPECT(!data.empty());
+
+    std::vector<TaskType> types;
+    types.reserve(data.size());
+    std::size_t expected_id = 0;
+    for (const auto& [type_id, record] : data) {
+        RMWP_EXPECT(type_id == expected_id++);
+        std::vector<double> wcet(resource_count, kNotExecutable);
+        std::vector<double> energy(resource_count, kNotExecutable);
+        for (const auto& [resource, cost] : record.cost) {
+            wcet[resource] = cost.first;
+            energy[resource] = cost.second;
+        }
+        std::vector<std::vector<double>> cm(resource_count, std::vector<double>(resource_count, 0.0));
+        std::vector<std::vector<double>> em(resource_count, std::vector<double>(resource_count, 0.0));
+        for (const auto& [pair, overhead] : record.migration) {
+            cm[pair.first][pair.second] = overhead.first;
+            em[pair.first][pair.second] = overhead.second;
+        }
+        types.emplace_back(type_id, std::move(wcet), std::move(energy), std::move(cm),
+                           std::move(em));
+    }
+    return Catalog(std::move(types));
+}
+
+void write_catalog_csv_file(const std::string& path, const Catalog& catalog) {
+    auto os = open_output(path);
+    write_catalog_csv(os, catalog);
+}
+
+Catalog read_catalog_csv_file(const std::string& path) {
+    auto is = open_input(path);
+    return read_catalog_csv(is);
+}
+
+} // namespace rmwp

@@ -1,0 +1,32 @@
+// CSV import/export for traces and catalogs, so experiments can be run
+// against externally produced request streams (e.g. converted cluster
+// traces) and generated workloads can be inspected offline.
+//
+// Trace CSV columns:   arrival,type,relative_deadline
+// Catalog CSV columns: type,resource,wcet,energy  followed by migration rows
+//                      type,from,to,migration_time,migration_energy in a
+//                      second section separated by a "#migration" line.
+// Non-executable (type, resource) pairs are written as "inf".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/catalog.hpp"
+#include "workload/trace.hpp"
+
+namespace rmwp {
+
+void write_trace_csv(std::ostream& os, const Trace& trace);
+[[nodiscard]] Trace read_trace_csv(std::istream& is);
+
+void write_trace_csv_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace read_trace_csv_file(const std::string& path);
+
+void write_catalog_csv(std::ostream& os, const Catalog& catalog);
+[[nodiscard]] Catalog read_catalog_csv(std::istream& is);
+
+void write_catalog_csv_file(const std::string& path, const Catalog& catalog);
+[[nodiscard]] Catalog read_catalog_csv_file(const std::string& path);
+
+} // namespace rmwp

@@ -1,0 +1,411 @@
+// Tests for the EDF scheduling engine — the semantics at the heart of both
+// resource managers: EDF ordering, the predicted task's release-time
+// preemption (the MILP's constraints (4)-(14) as behaviour), non-preemptable
+// resources, pinned tasks, and feasibility detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/edf.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rmwp {
+namespace {
+
+const Resource kCpu(0, ResourceKind::cpu, "CPU");
+const Resource kGpu(1, ResourceKind::gpu, "GPU");
+
+ScheduleItem item(TaskUid uid, double duration, Time deadline, Time release = 0.0,
+                  bool pinned = false) {
+    ScheduleItem it;
+    it.uid = uid;
+    it.resource = 0;
+    it.release = release;
+    it.abs_deadline = deadline;
+    it.duration = duration;
+    it.pinned_first = pinned;
+    return it;
+}
+
+/// All segments must be disjoint and time-ordered.
+void expect_well_formed(const ResourceTimeline& timeline, Time now) {
+    Time previous_end = now;
+    for (const Segment& segment : timeline.segments) {
+        EXPECT_GE(segment.start, previous_end - 1e-9);
+        EXPECT_GT(segment.end, segment.start);
+        previous_end = segment.end;
+    }
+}
+
+TEST(Edf, SingleTaskRunsImmediately) {
+    const std::vector<ScheduleItem> items{item(1, 5.0, 10.0)};
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    ASSERT_EQ(result.timeline.segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.timeline.segments[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(result.timeline.segments[0].end, 5.0);
+    EXPECT_DOUBLE_EQ(completion.at(1), 5.0);
+}
+
+TEST(Edf, StartsAtNowNotZero) {
+    std::vector<ScheduleItem> items{item(1, 5.0, 110.0, 100.0)};
+    const auto result = schedule_resource(kCpu, 100.0, items);
+    ASSERT_EQ(result.timeline.segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.timeline.segments[0].start, 100.0);
+}
+
+TEST(Edf, OrdersByDeadline) {
+    const std::vector<ScheduleItem> items{item(1, 4.0, 20.0), item(2, 3.0, 5.0),
+                                          item(3, 2.0, 12.0)};
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    // EDF: 2 (d=5), then 3 (d=12), then 1 (d=20).
+    EXPECT_DOUBLE_EQ(completion.at(2), 3.0);
+    EXPECT_DOUBLE_EQ(completion.at(3), 5.0);
+    EXPECT_DOUBLE_EQ(completion.at(1), 9.0);
+    expect_well_formed(result.timeline, 0.0);
+}
+
+TEST(Edf, DetectsDeadlineViolation) {
+    const std::vector<ScheduleItem> items{item(1, 4.0, 4.0), item(2, 3.0, 5.0)};
+    const auto result = schedule_resource(kCpu, 0.0, items);
+    // Task 1 finishes at 4 (ok), task 2 at 7 > 5: infeasible.
+    EXPECT_FALSE(result.feasible);
+    EXPECT_FALSE(resource_feasible(kCpu, 0.0, items));
+}
+
+TEST(Edf, ExactlyMeetingDeadlineIsFeasible) {
+    const std::vector<ScheduleItem> items{item(1, 4.0, 4.0), item(2, 3.0, 7.0)};
+    EXPECT_TRUE(resource_feasible(kCpu, 0.0, items));
+}
+
+TEST(Edf, DeadlineTieBreaksByUid) {
+    const std::vector<ScheduleItem> items{item(7, 2.0, 10.0), item(3, 2.0, 10.0)};
+    std::unordered_map<TaskUid, Time> completion;
+    std::ignore = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_DOUBLE_EQ(completion.at(3), 2.0);
+    EXPECT_DOUBLE_EQ(completion.at(7), 4.0);
+}
+
+TEST(Edf, ZeroDurationCompletesInstantly) {
+    const std::vector<ScheduleItem> items{item(1, 0.0, 10.0), item(2, 3.0, 5.0)};
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(completion.count(1), 1u);
+    ASSERT_EQ(result.timeline.segments.size(), 1u); // no zero-width segment emitted
+}
+
+// ---- predicted-task semantics (the virtual task has release = s_p) ----
+
+TEST(EdfPredicted, LaterDeadlineQueuesAfterAll) {
+    // Paper case (4)/(5): tau_p has the latest deadline; it runs at
+    // max(s_p, q_i) where q_i is when everything else finishes.
+    std::vector<ScheduleItem> items{item(1, 6.0, 10.0),
+                                    item(kPredictedUid, 3.0, 20.0, /*release=*/2.0)};
+    std::unordered_map<TaskUid, Time> completion;
+    auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(1), 6.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 9.0); // starts at q = 6 > s_p = 2
+
+    // s_p beyond q: starts at s_p.
+    items[1].release = 8.0;
+    completion.clear();
+    result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 11.0);
+    // The resource idles in [6, 8): verify via the segment start.
+    ASSERT_EQ(result.timeline.segments.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.timeline.segments[1].start, 8.0);
+}
+
+TEST(EdfPredicted, EarlierDeadlineArrivingDuringSl1DoesNotPreempt) {
+    // Paper case (6)/(7) with s_p <= q_i: SL1 (deadline <= d_p) runs first;
+    // tau_p follows without preempting.
+    const std::vector<ScheduleItem> items{
+        item(1, 4.0, 6.0),                                   // SL1 (d=6 <= d_p=8)
+        item(2, 5.0, 30.0),                                  // SL2
+        item(kPredictedUid, 2.0, 8.0, /*release=*/1.0),      // d_p = 8
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(1), 4.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 6.0);
+    EXPECT_DOUBLE_EQ(completion.at(2), 11.0);
+    // Task 1 must not be split.
+    EXPECT_EQ(result.timeline.segments.size(), 3u);
+}
+
+TEST(EdfPredicted, ArrivalAfterQPreemptsRunningSl2Task) {
+    // Paper constraints (8)-(14): tau_p arrives while an SL2 task runs; the
+    // task splits into two chunks around tau_p.
+    const std::vector<ScheduleItem> items{
+        item(1, 3.0, 5.0),                              // SL1, runs [0, 3)
+        item(2, 8.0, 30.0),                             // SL2, starts at 3
+        item(kPredictedUid, 2.0, 10.0, /*release=*/5.0) // preempts task 2 at 5
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(1), 3.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 7.0);
+    EXPECT_DOUBLE_EQ(completion.at(2), 13.0); // 8 units of work + 2 preempted
+
+    // Task 2 must have exactly two chunks: [3, 5) and [7, 13).
+    std::vector<Segment> chunks;
+    for (const Segment& segment : result.timeline.segments)
+        if (segment.uid == 2) chunks.push_back(segment);
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_DOUBLE_EQ(chunks[0].start, 3.0);
+    EXPECT_DOUBLE_EQ(chunks[0].end, 5.0);
+    EXPECT_DOUBLE_EQ(chunks[1].start, 7.0);
+    EXPECT_DOUBLE_EQ(chunks[1].end, 13.0);
+}
+
+TEST(EdfPredicted, EqualDeadlineDoesNotPreempt) {
+    // SL1 is "deadline earlier *or equal*": the predicted task loses ties.
+    const std::vector<ScheduleItem> items{
+        item(1, 6.0, 10.0),
+        item(kPredictedUid, 2.0, 10.0, /*release=*/2.0),
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_DOUBLE_EQ(completion.at(1), 6.0); // not preempted at t=2
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 8.0);
+    EXPECT_EQ(result.timeline.segments.size(), 2u);
+}
+
+TEST(EdfPredicted, NoPreemptionOnGpu) {
+    // Sec 4.1: preemption by the predicted task is not applied to a GPU.
+    // The same scenario as ArrivalAfterQPreempts... but on the GPU: tau_p
+    // waits for the running task to finish.
+    const std::vector<ScheduleItem> items{
+        item(1, 3.0, 5.0),
+        item(2, 8.0, 30.0),
+        item(kPredictedUid, 2.0, 16.0, /*release=*/5.0),
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kGpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(2), 11.0);              // runs [3, 11) unsplit
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 13.0);  // boundary dispatch at 11
+    for (const Segment& segment : result.timeline.segments)
+        if (segment.uid == 2) {
+            EXPECT_DOUBLE_EQ(segment.duration(), 8.0);
+        }
+}
+
+TEST(EdfPredicted, GpuBoundaryDispatchPrefersPredictedWhenReleased) {
+    // At a task boundary past s_p, EDF picks the (earlier-deadline)
+    // predicted task before remaining SL2 work.
+    const std::vector<ScheduleItem> items{
+        item(1, 4.0, 6.0),
+        item(2, 5.0, 40.0),
+        item(3, 5.0, 50.0),
+        item(kPredictedUid, 2.0, 12.0, /*release=*/3.0),
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kGpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(1), 4.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 6.0); // boundary at 4 >= s_p = 3
+    EXPECT_DOUBLE_EQ(completion.at(2), 11.0);
+    EXPECT_DOUBLE_EQ(completion.at(3), 16.0);
+}
+
+TEST(EdfPredicted, GpuWorkConservingBeforeRelease) {
+    // If the boundary comes before s_p, the GPU does not idle waiting for
+    // the predicted task: non-preemptive EDF is work-conserving.
+    const std::vector<ScheduleItem> items{
+        item(1, 2.0, 4.0),
+        item(2, 6.0, 40.0),
+        item(kPredictedUid, 2.0, 12.0, /*release=*/3.0),
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kGpu, 0.0, items, &completion);
+    // Boundary at t=2 < s_p=3: task 2 dispatches; tau_p must wait until 8.
+    EXPECT_DOUBLE_EQ(completion.at(2), 8.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 10.0);
+    EXPECT_TRUE(result.feasible);
+}
+
+// ---- pinned tasks ----
+
+TEST(EdfPinned, PinnedRunsFirstDespiteLaterDeadline) {
+    const std::vector<ScheduleItem> items{
+        item(1, 5.0, 100.0, 0.0, /*pinned=*/true), // currently executing on the GPU
+        item(2, 2.0, 8.0),                         // earlier deadline but must wait
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kGpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(1), 5.0);
+    EXPECT_DOUBLE_EQ(completion.at(2), 7.0);
+}
+
+TEST(EdfPinned, PinnedOnPreemptableResourceThrows) {
+    const std::vector<ScheduleItem> items{item(1, 5.0, 100.0, 0.0, /*pinned=*/true)};
+    EXPECT_THROW(std::ignore = schedule_resource(kCpu, 0.0, items), precondition_error);
+}
+
+// ---- window-level assembly ----
+
+TEST(WindowSchedule, GroupsByResourceAndReportsCompletions) {
+    const Platform platform = make_motivational_platform();
+    std::vector<ScheduleItem> items;
+    ScheduleItem a = item(1, 5.0, 10.0);
+    a.resource = 0;
+    ScheduleItem b = item(2, 3.0, 6.0);
+    b.resource = 2;
+    items = {a, b};
+    const WindowSchedule schedule = build_window_schedule(platform, 0.0, items);
+    EXPECT_TRUE(schedule.feasible);
+    ASSERT_EQ(schedule.per_resource.size(), 3u);
+    EXPECT_EQ(schedule.per_resource[0].segments.size(), 1u);
+    EXPECT_TRUE(schedule.per_resource[1].segments.empty());
+    EXPECT_EQ(schedule.per_resource[2].segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(*schedule.completion_of(1), 5.0);
+    EXPECT_DOUBLE_EQ(*schedule.completion_of(2), 3.0);
+    EXPECT_FALSE(schedule.completion_of(99).has_value());
+}
+
+TEST(WindowSchedule, SegmentsOfCollectsAcrossResources) {
+    const Platform platform = make_motivational_platform();
+    ScheduleItem a = item(1, 5.0, 20.0);
+    a.resource = 0;
+    const WindowSchedule schedule = build_window_schedule(platform, 0.0, std::vector{a});
+    const auto segments = schedule.segments_of(1);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(segments[0].duration(), 5.0);
+}
+
+TEST(WindowSchedule, InvalidResourceIndexThrows) {
+    const Platform platform = make_motivational_platform();
+    ScheduleItem a = item(1, 5.0, 20.0);
+    a.resource = 9;
+    EXPECT_THROW(std::ignore = build_window_schedule(platform, 0.0, std::vector{a}),
+                 precondition_error);
+}
+
+// ---- reserved + predicted interplay ----
+
+TEST(EdfMixed, ReservationOutranksPredictedTask) {
+    // A reservation and the predicted task both want the window [4, 6); the
+    // reservation runs exactly on time and tau_p follows, even though the
+    // predicted deadline is tight.
+    ScheduleItem reservation;
+    reservation.uid = kReservedUidBase + 1;
+    reservation.release = 4.0;
+    reservation.abs_deadline = 6.0;
+    reservation.duration = 2.0;
+    reservation.reserved = true;
+
+    const std::vector<ScheduleItem> items{
+        item(1, 3.0, 20.0),
+        item(kPredictedUid, 3.0, 9.0, /*release=*/4.0),
+        reservation,
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_DOUBLE_EQ(completion.at(kReservedUidBase + 1), 6.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 9.0); // after the window
+    EXPECT_DOUBLE_EQ(completion.at(1), 3.0);             // runs [0,3), before the window
+}
+
+TEST(EdfMixed, PredictedPreemptsTaskThenReservationPreemptsPredicted) {
+    // Real task runs from 0; tau_p (tight deadline) preempts it at 2; the
+    // reservation at 4 preempts tau_p; everything resumes afterwards.
+    ScheduleItem reservation;
+    reservation.uid = kReservedUidBase + 2;
+    reservation.release = 4.0;
+    reservation.abs_deadline = 5.0;
+    reservation.duration = 1.0;
+    reservation.reserved = true;
+
+    const std::vector<ScheduleItem> items{
+        item(1, 6.0, 30.0),
+        item(kPredictedUid, 3.0, 8.0, /*release=*/2.0),
+        reservation,
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+    // Timeline: task1 [0,2), tau_p [2,4), reservation [4,5), tau_p [5,6),
+    // task1 [6,10).
+    EXPECT_DOUBLE_EQ(completion.at(kReservedUidBase + 2), 5.0);
+    EXPECT_DOUBLE_EQ(completion.at(kPredictedUid), 6.0);
+    EXPECT_DOUBLE_EQ(completion.at(1), 10.0);
+    // tau_p must be split into two chunks around the reservation.
+    std::size_t predicted_chunks = 0;
+    for (const Segment& segment : result.timeline.segments)
+        if (segment.uid == kPredictedUid) ++predicted_chunks;
+    EXPECT_EQ(predicted_chunks, 2u);
+}
+
+// ---- randomized properties ----
+
+TEST(EdfProperty, FeasibleOnlyWhenAllCompletionsMeetDeadlines) {
+    Rng rng(314);
+    for (int round = 0; round < 300; ++round) {
+        const bool gpu = rng.bernoulli(0.5);
+        const std::size_t count = 1 + rng.index(6);
+        std::vector<ScheduleItem> items;
+        for (std::size_t j = 0; j < count; ++j) {
+            ScheduleItem it = item(j + 1, rng.uniform(0.5, 8.0), rng.uniform(2.0, 30.0));
+            items.push_back(it);
+        }
+        if (rng.bernoulli(0.5))
+            items.push_back(item(kPredictedUid, rng.uniform(0.5, 6.0), rng.uniform(4.0, 30.0),
+                                 rng.uniform(0.0, 10.0)));
+
+        std::unordered_map<TaskUid, Time> completion;
+        const auto result =
+            schedule_resource(gpu ? kGpu : kCpu, 0.0, items, &completion);
+
+        bool all_met = true;
+        double total_work = 0.0;
+        for (const ScheduleItem& it : items) {
+            ASSERT_EQ(completion.count(it.uid), 1u);
+            if (completion.at(it.uid) > it.abs_deadline + 1e-6) all_met = false;
+            total_work += it.duration;
+        }
+        EXPECT_EQ(result.feasible, all_met);
+        EXPECT_EQ(resource_feasible(gpu ? kGpu : kCpu, 0.0, items), all_met);
+
+        // Conservation: total segment time equals total work.
+        double total_segments = 0.0;
+        for (const Segment& segment : result.timeline.segments)
+            total_segments += segment.duration();
+        EXPECT_NEAR(total_segments, total_work, 1e-6);
+        expect_well_formed(result.timeline, 0.0);
+    }
+}
+
+TEST(EdfProperty, PreemptiveEdfDominatesNonPreemptive) {
+    // On a single resource with release times, preemptive EDF is optimal:
+    // whenever the non-preemptive (GPU) dispatch succeeds, preemptive EDF
+    // must too.
+    Rng rng(2718);
+    int gpu_feasible = 0;
+    for (int round = 0; round < 400; ++round) {
+        const std::size_t count = 1 + rng.index(5);
+        std::vector<ScheduleItem> items;
+        for (std::size_t j = 0; j < count; ++j)
+            items.push_back(item(j + 1, rng.uniform(0.5, 6.0), rng.uniform(2.0, 25.0)));
+        items.push_back(item(kPredictedUid, rng.uniform(0.5, 4.0), rng.uniform(3.0, 25.0),
+                             rng.uniform(0.0, 8.0)));
+        if (resource_feasible(kGpu, 0.0, items)) {
+            ++gpu_feasible;
+            EXPECT_TRUE(resource_feasible(kCpu, 0.0, items));
+        }
+    }
+    EXPECT_GT(gpu_feasible, 50); // the property must actually be exercised
+}
+
+} // namespace
+} // namespace rmwp

@@ -1,0 +1,150 @@
+// Cross-feature integration sweep: every extension enabled at once, under
+// randomized configurations.  The invariants that must survive any
+// combination of DVFS operating points, critical reservations, multi-step
+// lookahead, prediction noise/overhead, execution-time variation, and
+// periodic activation:
+//   * no admitted task ever misses its deadline (aborts only with overhead);
+//   * accounting conserves: accepted = completed + aborted, requests =
+//     accepted + rejected;
+//   * energy is positive and finite, migrations carry energy consistently;
+//   * runs are bit-deterministic given the same seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/baseline_rm.hpp"
+#include "core/exact_rm.hpp"
+#include "core/heuristic_rm.hpp"
+#include "core/reservation.hpp"
+#include "predict/predictor.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace rmwp {
+namespace {
+
+struct ChaosConfig {
+    std::uint64_t seed = 0;
+    bool dvfs = false;
+    bool reservations = false;
+    std::size_t lookahead = 1;
+    double type_accuracy = 1.0;
+    double time_nrmse = 0.0;
+    double overhead = 0.0;
+    double execution_factor = 1.0;
+    double activation_period = 0.0;
+    int rm = 0; // 0 heuristic, 1 exact, 2 baseline
+};
+
+ChaosConfig random_config(std::uint64_t seed) {
+    Rng rng(seed * 7919 + 13);
+    ChaosConfig config;
+    config.seed = seed;
+    config.dvfs = rng.bernoulli(0.5);
+    config.reservations = rng.bernoulli(0.4);
+    config.lookahead = rng.index(4); // 0..3
+    config.type_accuracy = rng.uniform(0.3, 1.0);
+    config.time_nrmse = rng.uniform(0.0, 0.5);
+    config.overhead = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.3) : 0.0;
+    config.execution_factor = rng.bernoulli(0.5) ? rng.uniform(0.4, 1.0) : 1.0;
+    config.activation_period = rng.bernoulli(0.3) ? rng.uniform(2.0, 12.0) : 0.0;
+    config.rm = static_cast<int>(rng.index(3));
+    return config;
+}
+
+TraceResult run_chaos(const ChaosConfig& config) {
+    PlatformBuilder builder;
+    for (int i = 1; i <= 4; ++i) {
+        if (config.dvfs) builder.add_cpu_with_dvfs({1.0, 0.7, 0.4}, "C" + std::to_string(i));
+        else builder.add_cpu("C" + std::to_string(i));
+    }
+    builder.add_gpu("GPU");
+    const Platform platform = builder.build();
+
+    Rng catalog_rng = Rng(config.seed).derive(1);
+    const Catalog catalog = generate_catalog(platform, CatalogParams{.type_count = 40},
+                                             catalog_rng);
+
+    TraceGenParams params;
+    params.length = 120;
+    params.group = config.seed % 2 == 0 ? DeadlineGroup::very_tight : DeadlineGroup::less_tight;
+    if (config.seed % 3 == 0) {
+        params.arrival_model = ArrivalModel::two_phase;
+        params.type_correlation = 0.7;
+    }
+    Rng trace_rng = Rng(config.seed).derive(2);
+    const Trace trace = generate_trace(catalog, params, trace_rng);
+
+    const ReservationTable reservations(
+        {CriticalTask{"ctrl", platform.size() - 1, 30.0, 0.0, 6.0, 1.0},
+         CriticalTask{"mon", 0, 50.0, 5.0, 8.0, 0.5}});
+
+    PredictorSpec spec;
+    spec.kind = PredictorSpec::Kind::noisy;
+    spec.type_accuracy = config.type_accuracy;
+    spec.time_nrmse = config.time_nrmse;
+    spec.overhead = config.overhead;
+    const auto predictor = make_predictor(spec, catalog, Rng(config.seed).derive(3));
+
+    SimOptions options;
+    options.lookahead = config.lookahead;
+    options.execution_time_factor_min = config.execution_factor;
+    options.execution_seed = config.seed;
+    options.activation_period = config.activation_period;
+
+    HeuristicRM heuristic;
+    ExactRM exact;
+    BaselineRM baseline;
+    ResourceManager& rm = config.rm == 0 ? static_cast<ResourceManager&>(heuristic)
+                          : config.rm == 1 ? static_cast<ResourceManager&>(exact)
+                                           : static_cast<ResourceManager&>(baseline);
+
+    if (config.reservations)
+        return simulate_trace(platform, catalog, trace, rm, *predictor, reservations, options);
+    return simulate_trace(platform, catalog, trace, rm, *predictor, options);
+}
+
+class Chaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Chaos, InvariantsSurviveEveryFeatureCombination) {
+    const ChaosConfig config = random_config(GetParam());
+    const TraceResult result = run_chaos(config);
+
+    EXPECT_EQ(result.deadline_misses, 0u)
+        << "seed " << config.seed << " rm " << config.rm;
+    EXPECT_EQ(result.accepted + result.rejected, result.requests);
+    EXPECT_EQ(result.completed + result.aborted, result.accepted);
+    if (config.overhead == 0.0) {
+        EXPECT_EQ(result.aborted, 0u);
+    }
+    EXPECT_TRUE(std::isfinite(result.total_energy));
+    EXPECT_GE(result.total_energy, 0.0);
+    EXPECT_GE(result.migration_energy, 0.0);
+    EXPECT_LE(result.migration_energy, result.total_energy + 1e-9);
+    if (config.rm == 2) {
+        EXPECT_EQ(result.migrations, 0u); // baseline never moves
+    }
+    EXPECT_LE(result.activations, result.requests);
+    EXPECT_GE(result.reference_energy, 0.0);
+    if (config.reservations) {
+        EXPECT_GE(result.critical_energy, 0.0);
+    }
+}
+
+TEST_P(Chaos, BitDeterministic) {
+    const ChaosConfig config = random_config(GetParam());
+    const TraceResult a = run_chaos(config);
+    const TraceResult b = run_chaos(config);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+    EXPECT_DOUBLE_EQ(a.critical_energy, b.critical_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, Chaos, ::testing::Range<std::uint64_t>(0, 40));
+
+} // namespace
+} // namespace rmwp

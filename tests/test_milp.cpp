@@ -1,0 +1,258 @@
+// Tests for the MILP substrate: problem container, two-phase simplex, and
+// branch & bound — textbook cases, edge cases, and randomized
+// cross-validation against exhaustive search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "milp/milp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rmwp::milp {
+namespace {
+
+TEST(LinearProgram, MergesDuplicateTerms) {
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 10.0);
+    const int row = lp.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::less_equal, 6.0);
+    ASSERT_EQ(lp.constraint(row).terms.size(), 1u);
+    EXPECT_DOUBLE_EQ(lp.constraint(row).terms[0].coefficient, 3.0);
+}
+
+TEST(LinearProgram, RejectsBadIndicesAndBounds) {
+    LinearProgram lp;
+    EXPECT_THROW(lp.add_variable("x", 3.0, 1.0), precondition_error);
+    const int x = lp.add_variable("x", 0.0, 1.0);
+    EXPECT_THROW(lp.set_objective(x + 1, 1.0), precondition_error);
+    EXPECT_THROW(lp.add_constraint({{5, 1.0}}, Relation::equal, 0.0), precondition_error);
+}
+
+TEST(Simplex, TextbookMaximization) {
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), z = 36.
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 1e30);
+    const int y = lp.add_variable("y", 0.0, 1e30);
+    lp.set_sense(Sense::maximize);
+    lp.set_objective(x, 3.0);
+    lp.set_objective(y, 5.0);
+    lp.add_constraint({{x, 1.0}}, Relation::less_equal, 4.0);
+    lp.add_constraint({{y, 2.0}}, Relation::less_equal, 12.0);
+    lp.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::less_equal, 18.0);
+
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.objective, 36.0, 1e-8);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 2.0, 1e-8);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 6.0, 1e-8);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+    // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  (4, 0)? No: coefficients make
+    // x cheaper per unit: x = 4, y = 0, z = 8.
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 1e30);
+    const int y = lp.add_variable("y", 0.0, 1e30);
+    lp.set_objective(x, 2.0);
+    lp.set_objective(y, 3.0);
+    lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::greater_equal, 4.0);
+    lp.add_constraint({{x, 1.0}}, Relation::greater_equal, 1.0);
+
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.objective, 8.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+    // min x + y s.t. x + 2y = 6, x - y = 0  ->  x = y = 2, z = 4.
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 1e30);
+    const int y = lp.add_variable("y", 0.0, 1e30);
+    lp.set_objective(x, 1.0);
+    lp.set_objective(y, 1.0);
+    lp.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::equal, 6.0);
+    lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::equal, 0.0);
+
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 2.0, 1e-8);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 1e30);
+    lp.set_objective(x, 1.0);
+    lp.add_constraint({{x, 1.0}}, Relation::less_equal, 1.0);
+    lp.add_constraint({{x, 1.0}}, Relation::greater_equal, 2.0);
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+    LinearProgram lp;
+    const double inf = std::numeric_limits<double>::infinity();
+    const int x = lp.add_variable("x", 0.0, inf);
+    lp.set_sense(Sense::maximize);
+    lp.set_objective(x, 1.0);
+    lp.add_constraint({{x, -1.0}}, Relation::less_equal, 0.0); // x >= 0, no upper bound
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::unbounded);
+}
+
+TEST(Simplex, HandlesFreeVariables) {
+    // min |shift|-style: x free, min x s.t. x >= -5  ->  x = -5.
+    LinearProgram lp;
+    const double inf = std::numeric_limits<double>::infinity();
+    const int x = lp.add_variable("x", -inf, inf);
+    lp.set_objective(x, 1.0);
+    lp.add_constraint({{x, 1.0}}, Relation::greater_equal, -5.0);
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.values[0], -5.0, 1e-8);
+}
+
+TEST(Simplex, HandlesNegativeLowerBounds) {
+    // min x + y with x in [-3, -1], y in [2, 5], x + y >= 0.
+    LinearProgram lp;
+    const int x = lp.add_variable("x", -3.0, -1.0);
+    const int y = lp.add_variable("y", 2.0, 5.0);
+    lp.set_objective(x, 1.0);
+    lp.set_objective(y, 1.0);
+    lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::greater_equal, 0.0);
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.objective, 0.0, 1e-8); // e.g. x=-3, y=3 or x=-2, y=2
+}
+
+TEST(Simplex, UpperBoundsRespected) {
+    LinearProgram lp;
+    const int x = lp.add_variable("x", 0.0, 2.5);
+    lp.set_sense(Sense::maximize);
+    lp.set_objective(x, 1.0);
+    const LpSolution solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.values[0], 2.5, 1e-8);
+}
+
+TEST(Milp, SimpleKnapsack) {
+    // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary  ->  a + c (17) vs b + c
+    // (20, weight 6 ok) -> 20.
+    LinearProgram lp;
+    const int a = lp.add_binary_variable("a");
+    const int b = lp.add_binary_variable("b");
+    const int c = lp.add_binary_variable("c");
+    lp.set_sense(Sense::maximize);
+    lp.set_objective(a, 10.0);
+    lp.set_objective(b, 13.0);
+    lp.set_objective(c, 7.0);
+    lp.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Relation::less_equal, 6.0);
+
+    const MilpSolution solution = solve_milp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_TRUE(solution.proven_optimal);
+    EXPECT_NEAR(solution.objective, 20.0, 1e-6);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(b)], 1.0, 1e-6);
+    EXPECT_NEAR(solution.values[static_cast<std::size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+    // max x, 2x <= 7, x integer -> 3 (LP relaxation gives 3.5).
+    LinearProgram lp;
+    const int x = lp.add_integer_variable("x", 0.0, 100.0);
+    lp.set_sense(Sense::maximize);
+    lp.set_objective(x, 1.0);
+    lp.add_constraint({{x, 2.0}}, Relation::less_equal, 7.0);
+    const MilpSolution solution = solve_milp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.objective, 3.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+    // 0.4 <= x <= 0.6, x integer: LP-feasible, integer-infeasible.
+    LinearProgram lp;
+    const int x = lp.add_integer_variable("x", 0.0, 1.0);
+    lp.set_objective(x, 1.0);
+    lp.add_constraint({{x, 1.0}}, Relation::greater_equal, 0.4);
+    lp.add_constraint({{x, 1.0}}, Relation::less_equal, 0.6);
+    EXPECT_EQ(solve_milp(lp).status, SolveStatus::infeasible);
+}
+
+TEST(Milp, MixedIntegerAndContinuous) {
+    // min y s.t. y >= 2.5 - x, y >= x - 2.5, x integer in [0, 5]:
+    // the best integer x is 2 or 3, y = 0.5.
+    LinearProgram lp;
+    const int x = lp.add_integer_variable("x", 0.0, 5.0);
+    const int y = lp.add_variable("y", 0.0, 1e30);
+    lp.set_objective(y, 1.0);
+    lp.add_constraint({{y, 1.0}, {x, 1.0}}, Relation::greater_equal, 2.5);
+    lp.add_constraint({{y, 1.0}, {x, -1.0}}, Relation::greater_equal, -2.5);
+    const MilpSolution solution = solve_milp(lp);
+    ASSERT_EQ(solution.status, SolveStatus::optimal);
+    EXPECT_NEAR(solution.objective, 0.5, 1e-6);
+}
+
+/// Random binary MILPs cross-checked against exhaustive enumeration.
+class MilpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MilpRandom, MatchesExhaustiveEnumeration) {
+    Rng rng(GetParam());
+    const int vars = 2 + static_cast<int>(rng.index(4)); // 2..5 binaries
+    const int rows = 1 + static_cast<int>(rng.index(4));
+
+    LinearProgram lp;
+    std::vector<int> handles;
+    std::vector<double> costs;
+    for (int v = 0; v < vars; ++v) {
+        handles.push_back(lp.add_binary_variable("b" + std::to_string(v)));
+        costs.push_back(rng.uniform(-5.0, 5.0));
+        lp.set_objective(handles.back(), costs.back());
+    }
+    std::vector<std::vector<double>> coefficients(rows, std::vector<double>(vars));
+    std::vector<double> rhs(rows);
+    for (int r = 0; r < rows; ++r) {
+        std::vector<LinearTerm> terms;
+        for (int v = 0; v < vars; ++v) {
+            coefficients[r][v] = rng.uniform(-3.0, 3.0);
+            terms.push_back({handles[v], coefficients[r][v]});
+        }
+        rhs[r] = rng.uniform(-2.0, 4.0);
+        lp.add_constraint(std::move(terms), Relation::less_equal, rhs[r]);
+    }
+
+    // Exhaustive ground truth.
+    double best = std::numeric_limits<double>::infinity();
+    for (int mask = 0; mask < (1 << vars); ++mask) {
+        bool ok = true;
+        for (int r = 0; r < rows && ok; ++r) {
+            double lhs = 0.0;
+            for (int v = 0; v < vars; ++v)
+                if (mask & (1 << v)) lhs += coefficients[r][v];
+            ok = lhs <= rhs[r] + 1e-9;
+        }
+        if (!ok) continue;
+        double cost = 0.0;
+        for (int v = 0; v < vars; ++v)
+            if (mask & (1 << v)) cost += costs[v];
+        best = std::min(best, cost);
+    }
+
+    const MilpSolution solution = solve_milp(lp);
+    if (std::isinf(best)) {
+        EXPECT_EQ(solution.status, SolveStatus::infeasible);
+    } else {
+        ASSERT_EQ(solution.status, SolveStatus::optimal) << "seed " << GetParam();
+        EXPECT_NEAR(solution.objective, best, 1e-6) << "seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMilps, MilpRandom, ::testing::Range<std::uint64_t>(0, 80));
+
+TEST(SolveStatus, ToString) {
+    EXPECT_STREQ(to_string(SolveStatus::optimal), "optimal");
+    EXPECT_STREQ(to_string(SolveStatus::infeasible), "infeasible");
+    EXPECT_STREQ(to_string(SolveStatus::unbounded), "unbounded");
+    EXPECT_STREQ(to_string(SolveStatus::iteration_limit), "iteration_limit");
+}
+
+} // namespace
+} // namespace rmwp::milp

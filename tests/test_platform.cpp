@@ -1,0 +1,94 @@
+// Unit tests for the platform substrate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "platform/platform.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+TEST(Resource, KindsAndPreemptability) {
+    const Resource cpu(0, ResourceKind::cpu, "CPU1");
+    const Resource gpu(1, ResourceKind::gpu, "GPU");
+    const Resource accel(2, ResourceKind::accelerator, "DSP");
+    EXPECT_TRUE(cpu.preemptable());
+    EXPECT_FALSE(gpu.preemptable());
+    EXPECT_FALSE(accel.preemptable());
+    EXPECT_EQ(cpu.id(), 0u);
+    EXPECT_EQ(gpu.name(), "GPU");
+}
+
+TEST(Resource, ToStringCoversKinds) {
+    EXPECT_STREQ(to_string(ResourceKind::cpu), "cpu");
+    EXPECT_STREQ(to_string(ResourceKind::gpu), "gpu");
+    EXPECT_STREQ(to_string(ResourceKind::accelerator), "accelerator");
+}
+
+TEST(Resource, EmptyNameThrows) {
+    EXPECT_THROW(Resource(0, ResourceKind::cpu, ""), precondition_error);
+}
+
+TEST(Platform, PaperPlatformShape) {
+    const Platform platform = make_paper_platform();
+    EXPECT_EQ(platform.size(), 6u);
+    EXPECT_EQ(platform.cpu_count(), 5u);
+    EXPECT_EQ(platform.non_preemptable_count(), 1u);
+    EXPECT_EQ(platform.resource(5).kind(), ResourceKind::gpu);
+    EXPECT_EQ(platform.resource(0).name(), "CPU1");
+}
+
+TEST(Platform, MotivationalPlatformShape) {
+    const Platform platform = make_motivational_platform();
+    EXPECT_EQ(platform.size(), 3u);
+    EXPECT_EQ(platform.cpu_count(), 2u);
+    // Table 1 column order: CPU1, CPU2, GPU.
+    EXPECT_EQ(platform.resource(0).name(), "CPU1");
+    EXPECT_EQ(platform.resource(1).name(), "CPU2");
+    EXPECT_EQ(platform.resource(2).name(), "GPU");
+}
+
+TEST(Platform, DenseIdsEnforced) {
+    std::vector<Resource> wrong;
+    wrong.emplace_back(1, ResourceKind::cpu, "CPU"); // id should be 0
+    EXPECT_THROW(Platform{std::move(wrong)}, precondition_error);
+}
+
+TEST(Platform, EmptyThrows) {
+    EXPECT_THROW(Platform{std::vector<Resource>{}}, precondition_error);
+}
+
+TEST(Platform, OutOfRangeResourceThrows) {
+    const Platform platform = make_motivational_platform();
+    EXPECT_THROW(std::ignore = platform.resource(3), precondition_error);
+}
+
+TEST(PlatformBuilder, AssignsDefaultNamesAndIds) {
+    const Platform platform =
+        PlatformBuilder{}.add_cpu().add_gpu().add_accelerator().add_cpu("named").build();
+    EXPECT_EQ(platform.size(), 4u);
+    EXPECT_EQ(platform.resource(0).name(), "cpu0");
+    EXPECT_EQ(platform.resource(1).name(), "gpu1");
+    EXPECT_EQ(platform.resource(2).name(), "accelerator2");
+    EXPECT_EQ(platform.resource(3).name(), "named");
+    for (ResourceId i = 0; i < platform.size(); ++i) EXPECT_EQ(platform.resource(i).id(), i);
+}
+
+TEST(PlatformBuilder, EmptyBuildThrows) {
+    PlatformBuilder builder;
+    EXPECT_THROW(builder.build(), precondition_error);
+}
+
+TEST(Platform, IterationVisitsAllResources) {
+    const Platform platform = make_paper_platform();
+    std::size_t count = 0;
+    for (const Resource& r : platform) {
+        EXPECT_LT(r.id(), platform.size());
+        ++count;
+    }
+    EXPECT_EQ(count, platform.size());
+}
+
+} // namespace
+} // namespace rmwp

@@ -1,0 +1,104 @@
+// Tests for the remaining-cost algebra of Sec 4.1 (cp/ep/cpm/epm and the
+// migration rescaling rule).
+#include <gtest/gtest.h>
+
+#include "core/task_state.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+namespace {
+
+TaskType make_type() {
+    const std::size_t n = 2;
+    std::vector<std::vector<double>> cm(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> em(n, std::vector<double>(n, 0.0));
+    cm[0][1] = 2.0;
+    cm[1][0] = 2.5;
+    em[0][1] = 1.5;
+    em[1][0] = 1.0;
+    return TaskType(0, {10.0, 4.0}, {6.0, 2.0}, cm, em);
+}
+
+ActiveTask make_task(double remaining = 1.0, bool started = false, ResourceId resource = 0) {
+    ActiveTask task;
+    task.uid = 1;
+    task.type = 0;
+    task.arrival = 0.0;
+    task.absolute_deadline = 100.0;
+    task.resource = resource;
+    task.started = started;
+    task.remaining_fraction = remaining;
+    return task;
+}
+
+TEST(TaskState, FreshTaskHasFullCosts) {
+    const TaskType type = make_type();
+    const ActiveTask task = make_task();
+    EXPECT_DOUBLE_EQ(remaining_time(task, type, 0), 10.0);
+    EXPECT_DOUBLE_EQ(remaining_time(task, type, 1), 4.0);
+    EXPECT_DOUBLE_EQ(remaining_energy(task, type, 0), 6.0);
+    EXPECT_DOUBLE_EQ(remaining_energy(task, type, 1), 2.0);
+}
+
+TEST(TaskState, MigrationRescalingRule) {
+    // Paper: cp_{j,k} = c_{j,k} * (cp_{j,i} / c_{j,i}).  Half the work left
+    // on resource 0 means half the work left anywhere.
+    const TaskType type = make_type();
+    const ActiveTask task = make_task(0.5, /*started=*/true, /*resource=*/0);
+    EXPECT_DOUBLE_EQ(remaining_time(task, type, 0), 5.0);
+    EXPECT_DOUBLE_EQ(remaining_time(task, type, 1), 2.0);
+    EXPECT_DOUBLE_EQ(remaining_energy(task, type, 1), 1.0);
+}
+
+TEST(TaskState, MigrationOnlyWhenStartedAndMoving) {
+    const TaskType type = make_type();
+    EXPECT_FALSE(is_migration(make_task(1.0, false, 0), 1)); // not started: free remap
+    EXPECT_FALSE(is_migration(make_task(0.5, true, 0), 0));  // staying put
+    EXPECT_TRUE(is_migration(make_task(0.5, true, 0), 1));
+}
+
+TEST(TaskState, OccupiedTimeIncludesMigration) {
+    const TaskType type = make_type();
+    const ActiveTask started = make_task(0.5, true, 0);
+    // Staying: remaining work only.
+    EXPECT_DOUBLE_EQ(occupied_time(started, type, 0), 5.0);
+    // Migrating 0 -> 1: rescaled work + cm_{0,1}.
+    EXPECT_DOUBLE_EQ(occupied_time(started, type, 1), 2.0 + 2.0);
+    // Unstarted tasks relocate for free.
+    EXPECT_DOUBLE_EQ(occupied_time(make_task(), type, 1), 4.0);
+}
+
+TEST(TaskState, PendingOverheadCountsWhenStaying) {
+    const TaskType type = make_type();
+    ActiveTask task = make_task(0.5, true, 1);
+    task.pending_overhead = 1.25; // mid-migration onto resource 1
+    EXPECT_DOUBLE_EQ(occupied_time(task, type, 1), 2.0 + 1.25);
+}
+
+TEST(TaskState, AssignmentEnergyIncludesMigrationEnergy) {
+    const TaskType type = make_type();
+    const ActiveTask started = make_task(0.5, true, 0);
+    EXPECT_DOUBLE_EQ(assignment_energy(started, type, 0), 3.0);
+    EXPECT_DOUBLE_EQ(assignment_energy(started, type, 1), 1.0 + 1.5);
+    EXPECT_DOUBLE_EQ(migration_energy_cost(started, type, 1), 1.5);
+    EXPECT_DOUBLE_EQ(migration_energy_cost(started, type, 0), 0.0);
+}
+
+TEST(TaskState, TimeLeftAndFinished) {
+    ActiveTask task = make_task();
+    EXPECT_DOUBLE_EQ(task.time_left(40.0), 60.0);
+    EXPECT_FALSE(task.finished());
+    task.remaining_fraction = 0.0;
+    EXPECT_TRUE(task.finished());
+}
+
+TEST(TaskState, TypeMismatchThrows) {
+    const std::size_t n = 1;
+    const std::vector<std::vector<double>> zero(n, std::vector<double>(n, 0.0));
+    const TaskType other(3, {5.0}, {1.0}, zero, zero);
+    const ActiveTask task = make_task(); // type id 0
+    EXPECT_THROW(std::ignore = remaining_time(task, other, 0), precondition_error);
+}
+
+} // namespace
+} // namespace rmwp

@@ -1,0 +1,204 @@
+// Unit tests for the util substrate: deterministic RNG, samplers, running
+// statistics, error metrics, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rmwp {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(123);
+    Rng b(124);
+    int differences = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.raw() != b.raw()) ++differences;
+    EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndStable) {
+    const Rng root(99);
+    Rng child_a1 = root.derive(1);
+    Rng child_a2 = root.derive(1);
+    Rng child_b = root.derive(2);
+    EXPECT_EQ(child_a1.raw(), child_a2.raw());
+    Rng fresh_a = root.derive(1);
+    EXPECT_NE(fresh_a.raw(), child_b.raw());
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.5, 9.0);
+        EXPECT_GE(u, 2.5);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+    Rng rng(9);
+    std::array<int, 6> histogram{};
+    const int draws = 60000;
+    for (int i = 0; i < draws; ++i) ++histogram[rng.uniform_int(0, 5)];
+    for (const int count : histogram) {
+        EXPECT_GT(count, draws / 6 - 800);
+        EXPECT_LT(count, draws / 6 + 800);
+    }
+}
+
+TEST(Rng, IndexExcludingNeverReturnsExcluded) {
+    Rng rng(10);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t draw = rng.index_excluding(5, 2);
+        EXPECT_NE(draw, 2u);
+        EXPECT_LT(draw, 5u);
+        seen.insert(draw);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all non-excluded values appear
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian(40.0, 9.0));
+    EXPECT_NEAR(stats.mean(), 40.0, 0.15);
+    EXPECT_NEAR(stats.stddev(), 9.0, 0.15);
+}
+
+TEST(Rng, GaussianAboveRespectsFloor) {
+    Rng rng(12);
+    for (int i = 0; i < 5000; ++i) EXPECT_GT(rng.gaussian_above(1.0, 2.0, 0.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+    Rng rng(13);
+    int hits = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        if (rng.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+    Rng rng(14);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), precondition_error);
+    EXPECT_THROW(rng.index(0), precondition_error);
+    EXPECT_THROW(rng.bernoulli(1.5), precondition_error);
+    EXPECT_THROW(rng.gaussian(0.0, -1.0), precondition_error);
+}
+
+TEST(RunningStats, BasicMoments) {
+    RunningStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+    RunningStats stats;
+    EXPECT_THROW(std::ignore = stats.mean(), precondition_error);
+    stats.add(1.0);
+    EXPECT_THROW(std::ignore = stats.variance(), precondition_error);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+    Rng rng(15);
+    RunningStats all;
+    RunningStats left;
+    RunningStats right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Samples, QuantilesInterpolate) {
+    Samples samples;
+    for (int i = 1; i <= 5; ++i) samples.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(samples.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(samples.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+    EXPECT_DOUBLE_EQ(samples.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(samples.quantile(0.125), 1.5);
+}
+
+TEST(Samples, CiShrinksWithSamples) {
+    Rng rng(16);
+    Samples small;
+    Samples large;
+    for (int i = 0; i < 20; ++i) small.add(rng.gaussian(0, 1));
+    for (int i = 0; i < 2000; ++i) large.add(rng.gaussian(0, 1));
+    EXPECT_LT(large.ci_halfwidth(), small.ci_halfwidth());
+}
+
+TEST(ErrorMetrics, RmseAndNrmse) {
+    const std::vector<double> predicted{1.0, 2.0, 3.0};
+    const std::vector<double> actual{1.0, 2.0, 5.0};
+    EXPECT_NEAR(rmse(predicted, actual), 2.0 / std::sqrt(3.0), 1e-12);
+    EXPECT_NEAR(nrmse(predicted, actual), rmse(predicted, actual) / (8.0 / 3.0), 1e-12);
+    EXPECT_THROW(std::ignore = rmse(predicted, std::vector<double>{1.0}), precondition_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+    Table table({"name", "value"});
+    table.row().cell("alpha").cell(1.5, 1);
+    table.row().cell("b").cell(22LL);
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, OverfilledRowThrows) {
+    Table table({"only"});
+    table.row().cell("x");
+    EXPECT_THROW(table.cell("y"), precondition_error);
+}
+
+TEST(FormatFixed, Precision) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace rmwp

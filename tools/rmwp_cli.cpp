@@ -1,0 +1,267 @@
+// rmwp_cli — command-line front end for the library.
+//
+//   rmwp_cli generate-catalog --out catalog.csv [--seed 42] [--types 100]
+//                             [--cpus 5] [--gpus 1]
+//   rmwp_cli generate-trace   --catalog catalog.csv --out trace.csv
+//                             [--seed 42] [--length 500] [--group VT|LT]
+//                             [--ia-mean 6] [--ia-stddev 2]
+//   rmwp_cli run              --catalog catalog.csv --trace trace.csv
+//                             [--cpus 5] [--gpus 1]
+//                             [--rm heuristic|exact|milp|baseline]
+//                             [--predictor off|oracle|noisy|online]
+//                             [--type-accuracy 1.0] [--time-nrmse 0.0]
+//                             [--overhead 0.0] [--lookahead 1] [--seed 42]
+//                             [--exec-factor 1.0]   (actual work in
+//                                                    [factor, 1] x WCET)
+//                             [--activation-period 0] (0 = per arrival)
+//
+//   rmwp_cli analyze          --trace trace.csv [--catalog catalog.csv]
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/baseline_rm.hpp"
+#include "core/exact_rm.hpp"
+#include "core/heuristic_rm.hpp"
+#include "core/milp_rm.hpp"
+#include "predict/predictor.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/trace_generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace rmwp;
+
+/// --key value argument map with typed accessors and strict checking.
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0 || i + 1 >= argc)
+                throw std::runtime_error("expected --key value pairs, got: " + key);
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    [[nodiscard]] std::optional<std::string> get(const std::string& key) {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return std::nullopt;
+        consumed_.insert(key);
+        return it->second;
+    }
+
+    [[nodiscard]] std::string require(const std::string& key) {
+        if (auto value = get(key)) return *value;
+        throw std::runtime_error("missing required option --" + key);
+    }
+
+    [[nodiscard]] double number(const std::string& key, double fallback) {
+        if (auto value = get(key)) return std::stod(*value);
+        return fallback;
+    }
+
+    [[nodiscard]] std::uint64_t integer(const std::string& key, std::uint64_t fallback) {
+        if (auto value = get(key)) return std::stoull(*value);
+        return fallback;
+    }
+
+    void reject_unknown() const {
+        for (const auto& [key, value] : values_)
+            if (!consumed_.contains(key))
+                throw std::runtime_error("unknown option --" + key);
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::set<std::string> consumed_;
+};
+
+Platform make_cli_platform(Args& args) {
+    const auto cpus = static_cast<std::size_t>(args.integer("cpus", 5));
+    const auto gpus = static_cast<std::size_t>(args.integer("gpus", 1));
+    PlatformBuilder builder;
+    for (std::size_t i = 1; i <= cpus; ++i) builder.add_cpu("CPU" + std::to_string(i));
+    for (std::size_t i = 1; i <= gpus; ++i)
+        builder.add_gpu(gpus == 1 ? "GPU" : "GPU" + std::to_string(i));
+    return builder.build();
+}
+
+int cmd_generate_catalog(Args& args) {
+    const std::string out = args.require("out");
+    const Platform platform = make_cli_platform(args);
+    CatalogParams params;
+    params.type_count = static_cast<std::size_t>(args.integer("types", 100));
+    Rng rng(args.integer("seed", 42));
+    args.reject_unknown();
+
+    const Catalog catalog = generate_catalog(platform, params, rng);
+    write_catalog_csv_file(out, catalog);
+    std::cout << "wrote " << catalog.size() << " task types for " << platform.size()
+              << " resources to " << out << '\n';
+    return 0;
+}
+
+int cmd_generate_trace(Args& args) {
+    const std::string catalog_path = args.require("catalog");
+    const std::string out = args.require("out");
+    TraceGenParams params;
+    params.length = static_cast<std::size_t>(args.integer("length", 500));
+    params.interarrival_mean = args.number("ia-mean", params.interarrival_mean);
+    params.interarrival_stddev = args.number("ia-stddev", params.interarrival_stddev);
+    if (auto group = args.get("group")) {
+        if (*group == "VT") params.group = DeadlineGroup::very_tight;
+        else if (*group == "LT") params.group = DeadlineGroup::less_tight;
+        else throw std::runtime_error("--group must be VT or LT");
+    }
+    Rng rng(args.integer("seed", 42));
+    args.reject_unknown();
+
+    const Catalog catalog = read_catalog_csv_file(catalog_path);
+    const Trace trace = generate_trace(catalog, params, rng);
+    write_trace_csv_file(out, trace);
+    std::cout << "wrote " << trace.size() << " requests (" << to_string(params.group)
+              << ", mean interarrival " << format_fixed(trace.mean_interarrival(), 2) << ") to "
+              << out << '\n';
+    return 0;
+}
+
+int cmd_run(Args& args) {
+    const std::string catalog_path = args.require("catalog");
+    const std::string trace_path = args.require("trace");
+    const Platform platform = make_cli_platform(args);
+
+    const std::string rm_name = args.get("rm").value_or("heuristic");
+    std::unique_ptr<ResourceManager> rm;
+    if (rm_name == "heuristic") rm = std::make_unique<HeuristicRM>();
+    else if (rm_name == "exact") rm = std::make_unique<ExactRM>();
+    else if (rm_name == "milp") rm = std::make_unique<MilpRM>();
+    else if (rm_name == "baseline") rm = std::make_unique<BaselineRM>();
+    else throw std::runtime_error("--rm must be heuristic, exact, milp, or baseline");
+
+    PredictorSpec spec;
+    const std::string predictor_name = args.get("predictor").value_or("off");
+    if (predictor_name == "off") spec.kind = PredictorSpec::Kind::none;
+    else if (predictor_name == "oracle") spec.kind = PredictorSpec::Kind::oracle;
+    else if (predictor_name == "noisy") spec.kind = PredictorSpec::Kind::noisy;
+    else if (predictor_name == "online") spec.kind = PredictorSpec::Kind::online;
+    else throw std::runtime_error("--predictor must be off, oracle, noisy, or online");
+    spec.type_accuracy = args.number("type-accuracy", 1.0);
+    spec.time_nrmse = args.number("time-nrmse", 0.0);
+    spec.overhead = args.number("overhead", 0.0);
+    spec.lookahead = static_cast<std::size_t>(args.integer("lookahead", 1));
+    const std::uint64_t seed = args.integer("seed", 42);
+    const double exec_factor = args.number("exec-factor", 1.0);
+    const double activation_period = args.number("activation-period", 0.0);
+    args.reject_unknown();
+
+    const Catalog catalog = read_catalog_csv_file(catalog_path);
+    if (catalog.resource_count() != platform.size())
+        throw std::runtime_error("catalog resource count does not match --cpus/--gpus");
+    const Trace trace = read_trace_csv_file(trace_path);
+
+    const std::unique_ptr<Predictor> predictor = make_predictor(spec, catalog, Rng(seed));
+    SimOptions options;
+    options.lookahead = spec.lookahead;
+    options.execution_time_factor_min = exec_factor;
+    options.execution_seed = seed;
+    options.activation_period = activation_period;
+    const TraceResult result =
+        simulate_trace(platform, catalog, trace, *rm, *predictor, options);
+
+    Table table({"metric", "value"});
+    table.row().cell("requests").cell(result.requests);
+    table.row().cell("accepted").cell(result.accepted);
+    table.row().cell("rejected").cell(result.rejected);
+    table.row().cell("rejection %").cell(result.rejection_percent());
+    table.row().cell("aborted (overhead)").cell(result.aborted);
+    table.row().cell("energy (J)").cell(result.total_energy, 1);
+    table.row().cell("normalized energy").cell(result.normalized_energy(), 4);
+    table.row().cell("migrations").cell(result.migrations);
+    table.row().cell("migration energy (J)").cell(result.migration_energy, 1);
+    table.row().cell("ms per decision").cell(
+        result.activations > 0
+            ? 1000.0 * result.decision_seconds / static_cast<double>(result.activations)
+            : 0.0,
+        4);
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_analyze(Args& args) {
+    const std::string trace_path = args.require("trace");
+    const std::optional<std::string> catalog_path = args.get("catalog");
+    args.reject_unknown();
+
+    const Trace trace = read_trace_csv_file(trace_path);
+    RMWP_EXPECT(trace.size() >= 2);
+
+    RunningStats gaps;
+    std::map<TaskTypeId, std::size_t> type_histogram;
+    for (std::size_t j = 0; j < trace.size(); ++j) {
+        if (j > 0)
+            gaps.add(trace.request(j).arrival - trace.request(j - 1).arrival);
+        ++type_histogram[trace.request(j).type];
+    }
+
+    Table table({"metric", "value"});
+    table.row().cell("requests").cell(trace.size());
+    table.row().cell("distinct types").cell(type_histogram.size());
+    table.row().cell("span (ms)").cell(trace.horizon(), 1);
+    table.row().cell("interarrival mean").cell(gaps.mean(), 3);
+    table.row().cell("interarrival stddev").cell(gaps.stddev(), 3);
+    table.row().cell("interarrival min/max").cell(
+        format_fixed(gaps.min(), 2) + " / " + format_fixed(gaps.max(), 2));
+
+    if (catalog_path) {
+        const Catalog catalog = read_catalog_csv_file(*catalog_path);
+        RunningStats tightness; // deadline / fastest WCET
+        double offered_load = 0.0;
+        for (const Request& request : trace) {
+            const TaskType& type = catalog.type(request.type);
+            tightness.add(request.relative_deadline / type.min_wcet());
+            offered_load += type.min_wcet();
+        }
+        table.row().cell("deadline / min-WCET mean").cell(tightness.mean(), 2);
+        table.row().cell("deadline / min-WCET min").cell(tightness.min(), 2);
+        table.row().cell("offered load (best case)").cell(
+            format_fixed(offered_load / trace.horizon(), 3) + " busy resources");
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void usage() {
+    std::cerr << "usage: rmwp_cli <generate-catalog|generate-trace|run|analyze> --key value ...\n"
+                 "see the header of tools/rmwp_cli.cpp for the full option list\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (command == "generate-catalog") return cmd_generate_catalog(args);
+        if (command == "generate-trace") return cmd_generate_trace(args);
+        if (command == "run") return cmd_run(args);
+        if (command == "analyze") return cmd_analyze(args);
+        usage();
+        return 1;
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 2;
+    }
+}
