@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activation.dir/bench_activation.cpp.o"
+  "CMakeFiles/bench_activation.dir/bench_activation.cpp.o.d"
+  "bench_activation"
+  "bench_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

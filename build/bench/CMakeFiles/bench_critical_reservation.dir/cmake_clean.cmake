@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_critical_reservation.dir/bench_critical_reservation.cpp.o"
+  "CMakeFiles/bench_critical_reservation.dir/bench_critical_reservation.cpp.o.d"
+  "bench_critical_reservation"
+  "bench_critical_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_critical_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rejection.dir/bench_fig2_rejection.cpp.o"
+  "CMakeFiles/bench_fig2_rejection.dir/bench_fig2_rejection.cpp.o.d"
+  "bench_fig2_rejection"
+  "bench_fig2_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

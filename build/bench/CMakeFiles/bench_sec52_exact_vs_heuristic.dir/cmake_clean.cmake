@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_exact_vs_heuristic.dir/bench_sec52_exact_vs_heuristic.cpp.o"
+  "CMakeFiles/bench_sec52_exact_vs_heuristic.dir/bench_sec52_exact_vs_heuristic.cpp.o.d"
+  "bench_sec52_exact_vs_heuristic"
+  "bench_sec52_exact_vs_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_exact_vs_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

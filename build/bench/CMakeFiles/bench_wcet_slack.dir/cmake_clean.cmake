@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcet_slack.dir/bench_wcet_slack.cpp.o"
+  "CMakeFiles/bench_wcet_slack.dir/bench_wcet_slack.cpp.o.d"
+  "bench_wcet_slack"
+  "bench_wcet_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_tasks.dir/critical_tasks.cpp.o"
+  "CMakeFiles/critical_tasks.dir/critical_tasks.cpp.o.d"
+  "critical_tasks"
+  "critical_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

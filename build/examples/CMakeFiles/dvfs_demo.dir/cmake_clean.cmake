@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_demo.dir/dvfs_demo.cpp.o"
+  "CMakeFiles/dvfs_demo.dir/dvfs_demo.cpp.o.d"
+  "dvfs_demo"
+  "dvfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

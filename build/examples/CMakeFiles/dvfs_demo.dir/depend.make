@@ -1,0 +1,2 @@
+# Empty dependencies file for dvfs_demo.
+# This may be replaced when dependencies are built.

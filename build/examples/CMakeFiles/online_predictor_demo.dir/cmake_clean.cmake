@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_predictor_demo.dir/online_predictor_demo.cpp.o"
+  "CMakeFiles/online_predictor_demo.dir/online_predictor_demo.cpp.o.d"
+  "online_predictor_demo"
+  "online_predictor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_predictor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_rm.cpp" "src/core/CMakeFiles/rmwp_core.dir/baseline_rm.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/baseline_rm.cpp.o.d"
+  "/root/repo/src/core/edf.cpp" "src/core/CMakeFiles/rmwp_core.dir/edf.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/edf.cpp.o.d"
+  "/root/repo/src/core/exact_rm.cpp" "src/core/CMakeFiles/rmwp_core.dir/exact_rm.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/exact_rm.cpp.o.d"
+  "/root/repo/src/core/heuristic_rm.cpp" "src/core/CMakeFiles/rmwp_core.dir/heuristic_rm.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/heuristic_rm.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/rmwp_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/milp_rm.cpp" "src/core/CMakeFiles/rmwp_core.dir/milp_rm.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/milp_rm.cpp.o.d"
+  "/root/repo/src/core/plan_instance.cpp" "src/core/CMakeFiles/rmwp_core.dir/plan_instance.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/plan_instance.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/core/CMakeFiles/rmwp_core.dir/reservation.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/reservation.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/rmwp_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/task_state.cpp" "src/core/CMakeFiles/rmwp_core.dir/task_state.cpp.o" "gcc" "src/core/CMakeFiles/rmwp_core.dir/task_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rmwp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rmwp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rmwp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/rmwp_milp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_core.dir/baseline_rm.cpp.o"
+  "CMakeFiles/rmwp_core.dir/baseline_rm.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/edf.cpp.o"
+  "CMakeFiles/rmwp_core.dir/edf.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/exact_rm.cpp.o"
+  "CMakeFiles/rmwp_core.dir/exact_rm.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/heuristic_rm.cpp.o"
+  "CMakeFiles/rmwp_core.dir/heuristic_rm.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/manager.cpp.o"
+  "CMakeFiles/rmwp_core.dir/manager.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/milp_rm.cpp.o"
+  "CMakeFiles/rmwp_core.dir/milp_rm.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/plan_instance.cpp.o"
+  "CMakeFiles/rmwp_core.dir/plan_instance.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/reservation.cpp.o"
+  "CMakeFiles/rmwp_core.dir/reservation.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/schedule.cpp.o"
+  "CMakeFiles/rmwp_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/rmwp_core.dir/task_state.cpp.o"
+  "CMakeFiles/rmwp_core.dir/task_state.cpp.o.d"
+  "librmwp_core.a"
+  "librmwp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

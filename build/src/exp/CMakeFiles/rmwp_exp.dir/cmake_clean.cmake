@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_exp.dir/config.cpp.o"
+  "CMakeFiles/rmwp_exp.dir/config.cpp.o.d"
+  "CMakeFiles/rmwp_exp.dir/runner.cpp.o"
+  "CMakeFiles/rmwp_exp.dir/runner.cpp.o.d"
+  "librmwp_exp.a"
+  "librmwp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/aggregate.cpp" "src/metrics/CMakeFiles/rmwp_metrics.dir/aggregate.cpp.o" "gcc" "src/metrics/CMakeFiles/rmwp_metrics.dir/aggregate.cpp.o.d"
+  "/root/repo/src/metrics/trace_result.cpp" "src/metrics/CMakeFiles/rmwp_metrics.dir/trace_result.cpp.o" "gcc" "src/metrics/CMakeFiles/rmwp_metrics.dir/trace_result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rmwp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rmwp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rmwp_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_metrics.dir/aggregate.cpp.o"
+  "CMakeFiles/rmwp_metrics.dir/aggregate.cpp.o.d"
+  "CMakeFiles/rmwp_metrics.dir/trace_result.cpp.o"
+  "CMakeFiles/rmwp_metrics.dir/trace_result.cpp.o.d"
+  "librmwp_metrics.a"
+  "librmwp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/lp.cpp" "src/milp/CMakeFiles/rmwp_milp.dir/lp.cpp.o" "gcc" "src/milp/CMakeFiles/rmwp_milp.dir/lp.cpp.o.d"
+  "/root/repo/src/milp/milp.cpp" "src/milp/CMakeFiles/rmwp_milp.dir/milp.cpp.o" "gcc" "src/milp/CMakeFiles/rmwp_milp.dir/milp.cpp.o.d"
+  "/root/repo/src/milp/simplex.cpp" "src/milp/CMakeFiles/rmwp_milp.dir/simplex.cpp.o" "gcc" "src/milp/CMakeFiles/rmwp_milp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rmwp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_milp.dir/lp.cpp.o"
+  "CMakeFiles/rmwp_milp.dir/lp.cpp.o.d"
+  "CMakeFiles/rmwp_milp.dir/milp.cpp.o"
+  "CMakeFiles/rmwp_milp.dir/milp.cpp.o.d"
+  "CMakeFiles/rmwp_milp.dir/simplex.cpp.o"
+  "CMakeFiles/rmwp_milp.dir/simplex.cpp.o.d"
+  "librmwp_milp.a"
+  "librmwp_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_platform.dir/platform.cpp.o"
+  "CMakeFiles/rmwp_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/rmwp_platform.dir/resource.cpp.o"
+  "CMakeFiles/rmwp_platform.dir/resource.cpp.o.d"
+  "librmwp_platform.a"
+  "librmwp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rmwp_platform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/noisy.cpp" "src/predict/CMakeFiles/rmwp_predict.dir/noisy.cpp.o" "gcc" "src/predict/CMakeFiles/rmwp_predict.dir/noisy.cpp.o.d"
+  "/root/repo/src/predict/online.cpp" "src/predict/CMakeFiles/rmwp_predict.dir/online.cpp.o" "gcc" "src/predict/CMakeFiles/rmwp_predict.dir/online.cpp.o.d"
+  "/root/repo/src/predict/oracle.cpp" "src/predict/CMakeFiles/rmwp_predict.dir/oracle.cpp.o" "gcc" "src/predict/CMakeFiles/rmwp_predict.dir/oracle.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/rmwp_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/rmwp_predict.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rmwp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rmwp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rmwp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rmwp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/rmwp_milp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_predict.dir/noisy.cpp.o"
+  "CMakeFiles/rmwp_predict.dir/noisy.cpp.o.d"
+  "CMakeFiles/rmwp_predict.dir/online.cpp.o"
+  "CMakeFiles/rmwp_predict.dir/online.cpp.o.d"
+  "CMakeFiles/rmwp_predict.dir/oracle.cpp.o"
+  "CMakeFiles/rmwp_predict.dir/oracle.cpp.o.d"
+  "CMakeFiles/rmwp_predict.dir/predictor.cpp.o"
+  "CMakeFiles/rmwp_predict.dir/predictor.cpp.o.d"
+  "librmwp_predict.a"
+  "librmwp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

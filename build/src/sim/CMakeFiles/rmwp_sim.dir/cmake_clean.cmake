@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rmwp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rmwp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rmwp_sim.dir/simulator.cpp.o.d"
+  "librmwp_sim.a"
+  "librmwp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_util.dir/rng.cpp.o"
+  "CMakeFiles/rmwp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rmwp_util.dir/stats.cpp.o"
+  "CMakeFiles/rmwp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rmwp_util.dir/table.cpp.o"
+  "CMakeFiles/rmwp_util.dir/table.cpp.o.d"
+  "librmwp_util.a"
+  "librmwp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

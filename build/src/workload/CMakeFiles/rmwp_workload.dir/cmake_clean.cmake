@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_workload.dir/catalog.cpp.o"
+  "CMakeFiles/rmwp_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/rmwp_workload.dir/task_type.cpp.o"
+  "CMakeFiles/rmwp_workload.dir/task_type.cpp.o.d"
+  "CMakeFiles/rmwp_workload.dir/trace.cpp.o"
+  "CMakeFiles/rmwp_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/rmwp_workload.dir/trace_generator.cpp.o"
+  "CMakeFiles/rmwp_workload.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/rmwp_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/rmwp_workload.dir/trace_io.cpp.o.d"
+  "librmwp_workload.a"
+  "librmwp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmwp_workload.a"
+)

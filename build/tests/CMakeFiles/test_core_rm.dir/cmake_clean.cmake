@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rm.dir/test_core_rm.cpp.o"
+  "CMakeFiles/test_core_rm.dir/test_core_rm.cpp.o.d"
+  "test_core_rm"
+  "test_core_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

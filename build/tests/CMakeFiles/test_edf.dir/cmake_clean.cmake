@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf.dir/test_edf.cpp.o"
+  "CMakeFiles/test_edf.dir/test_edf.cpp.o.d"
+  "test_edf"
+  "test_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

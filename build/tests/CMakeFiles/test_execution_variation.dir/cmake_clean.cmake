@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_variation.dir/test_execution_variation.cpp.o"
+  "CMakeFiles/test_execution_variation.dir/test_execution_variation.cpp.o.d"
+  "test_execution_variation"
+  "test_execution_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_metrics.dir/test_exp_metrics.cpp.o"
+  "CMakeFiles/test_exp_metrics.dir/test_exp_metrics.cpp.o.d"
+  "test_exp_metrics"
+  "test_exp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_rm.dir/test_milp_rm.cpp.o"
+  "CMakeFiles/test_milp_rm.dir/test_milp_rm.cpp.o.d"
+  "test_milp_rm"
+  "test_milp_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_task_state.cpp" "tests/CMakeFiles/test_task_state.dir/test_task_state.cpp.o" "gcc" "tests/CMakeFiles/test_task_state.dir/test_task_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rmwp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmwp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rmwp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/rmwp_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/rmwp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rmwp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rmwp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rmwp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rmwp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmwp_cli.dir/rmwp_cli.cpp.o"
+  "CMakeFiles/rmwp_cli.dir/rmwp_cli.cpp.o.d"
+  "rmwp_cli"
+  "rmwp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmwp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
