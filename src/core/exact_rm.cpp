@@ -127,4 +127,15 @@ Decision ExactRM::decide(const ArrivalContext& context) {
         });
 }
 
+RescueDecision ExactRM::rescue(const RescueContext& context) {
+    Options rescue_options = options_;
+    rescue_options.node_limit = std::min(options_.node_limit, options_.rescue_node_limit);
+    return run_rescue_ladder(
+        context,
+        [&rescue_options](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+            if (auto result = optimize(instance, rescue_options)) return std::move(result->mapping);
+            return std::nullopt;
+        });
+}
+
 } // namespace rmwp

@@ -29,12 +29,22 @@ public:
         /// the best feasible mapping found so far once exhausted.  The
         /// default is far above what the paper's workloads ever need.
         std::uint64_t node_limit = 20'000'000;
+        /// Node budget per solve during fault rescue.  Rescue instances are
+        /// frequently infeasible (that is why the rescue ran), and proving
+        /// infeasibility exhausts the whole tree — under the admission
+        /// budget one degraded activation could stall the platform for
+        /// seconds.  A tight budget keeps recovery latency bounded; when it
+        /// runs out without an incumbent the ladder simply sheds the next
+        /// victim, which is safe (never unschedulable, at worst one abort
+        /// more than the true optimum).
+        std::uint64_t rescue_node_limit = 200'000;
     };
 
     ExactRM() = default;
     explicit ExactRM(Options options) : options_(options) {}
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    [[nodiscard]] RescueDecision rescue(const RescueContext& context) override;
     [[nodiscard]] std::string name() const override { return "exact"; }
 
     struct Result {

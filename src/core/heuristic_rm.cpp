@@ -136,4 +136,9 @@ Decision HeuristicRM::decide(const ArrivalContext& context) {
         context, [this](const PlanInstance& instance) { return map_tasks(instance, options_); });
 }
 
+RescueDecision HeuristicRM::rescue(const RescueContext& context) {
+    return run_rescue_ladder(
+        context, [this](const PlanInstance& instance) { return map_tasks(instance, options_); });
+}
+
 } // namespace rmwp

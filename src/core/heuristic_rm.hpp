@@ -41,6 +41,7 @@ public:
     explicit HeuristicRM(Options options) : options_(options) {}
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    [[nodiscard]] RescueDecision rescue(const RescueContext& context) override;
     [[nodiscard]] std::string name() const override { return "heuristic"; }
 
     /// Run Algorithm 1 on a prepared instance.  Returns the per-task mapping

@@ -8,7 +8,7 @@
 namespace rmwp {
 
 ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type, ResourceId to,
-                                Time now) {
+                                Time now, const PlatformHealth* health) {
     RMWP_EXPECT(type.executable_on(to));
     RMWP_EXPECT(!task.pinned || to == task.resource);
     ScheduleItem item;
@@ -17,6 +17,12 @@ ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type, Re
     item.release = now;
     item.abs_deadline = task.absolute_deadline;
     item.duration = occupied_time(task, type, to);
+    if (health != nullptr) {
+        RMWP_EXPECT(health->online(to));
+        // Throttling stretches the remaining work, not the migration
+        // overhead (the data move is memory-bound, not compute-bound).
+        item.duration += (health->throttle(to) - 1.0) * remaining_time(task, type, to);
+    }
     item.pinned_first = task.pinned;
     return item;
 }
@@ -32,6 +38,60 @@ ScheduleItem make_predicted_item(const PredictedTask& predicted, const TaskType&
     item.duration = type.wcet(to);
     item.pinned_first = false;
     return item;
+}
+
+RescueDecision ResourceManager::rescue(const RescueContext& context) {
+    RMWP_EXPECT(context.platform != nullptr);
+    RMWP_EXPECT(context.catalog != nullptr);
+    const Platform& platform = *context.platform;
+    RescueDecision decision;
+
+    // Non-replanning fallback: every surviving task stays where it is.
+    // Tasks on an offline resource have nowhere to run without a migration,
+    // which this policy never performs — they are aborted outright.
+    Time horizon = context.now;
+    std::vector<std::vector<ScheduleItem>> per_physical(platform.size());
+    for (const ActiveTask& task : context.active) {
+        if (context.health != nullptr && !context.health->online(task.resource)) {
+            decision.aborted.push_back(task.uid);
+            continue;
+        }
+        horizon = std::max(horizon, task.absolute_deadline);
+        const ResourceId anchor = platform.resource(task.resource).physical();
+        per_physical[anchor].push_back(make_schedule_item(task, context.type_of(task),
+                                                          task.resource, context.now,
+                                                          context.health));
+    }
+    if (context.reservations != nullptr && !context.reservations->empty()) {
+        for (const Resource& resource : platform) {
+            auto blocks = context.reservations->blocks_for(resource.id(), context.now, horizon);
+            auto& bucket = per_physical[resource.physical()];
+            bucket.insert(bucket.end(), blocks.begin(), blocks.end());
+        }
+    }
+
+    // Degraded capacity (throttle-inflated durations) can make the in-place
+    // set unschedulable: shed the latest-deadline adaptive occupant of each
+    // violated core until its EDF check passes again.
+    for (const Resource& resource : platform) {
+        if (resource.physical() != resource.id()) continue; // one pass per core
+        auto& items = per_physical[resource.id()];
+        while (!resource_feasible(resource, context.now, items)) {
+            std::size_t victim = items.size();
+            for (std::size_t k = 0; k < items.size(); ++k) {
+                if (items[k].reserved) continue;
+                if (victim == items.size() ||
+                    items[k].abs_deadline > items[victim].abs_deadline)
+                    victim = k;
+            }
+            RMWP_ENSURE(victim < items.size()); // reservations alone always fit
+            decision.aborted.push_back(items[victim].uid);
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+        for (const ScheduleItem& item : items)
+            if (!item.reserved) decision.kept.push_back(TaskAssignment{item.uid, item.resource});
+    }
+    return decision;
 }
 
 Time planning_window(const ArrivalContext& context, std::size_t predicted_count) {

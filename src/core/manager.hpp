@@ -17,6 +17,7 @@
 #include "core/edf.hpp"
 #include "core/schedule.hpp"
 #include "core/task_state.hpp"
+#include "platform/health.hpp"
 #include "platform/platform.hpp"
 #include "workload/catalog.hpp"
 
@@ -47,6 +48,10 @@ struct ArrivalContext {
     std::vector<PredictedTask> predicted;
     /// Design-time critical reservations the plan must respect (optional).
     const ReservationTable* reservations = nullptr;
+    /// Runtime resource health (fault-tolerance extension; null = nominal).
+    /// Offline resources are infeasible mapping targets; throttled ones are
+    /// planned with WCETs inflated by the throttle factor.
+    const PlatformHealth* health = nullptr;
 
     [[nodiscard]] const TaskType& type_of(const ActiveTask& task) const {
         return catalog->type(task.type);
@@ -71,17 +76,54 @@ struct Decision {
     std::vector<TaskAssignment> assignments;
 };
 
+/// A fault-triggered re-planning request (fault-tolerance extension).
+/// There is no new candidate: capacity was lost (outage or throttle onset)
+/// and the surviving task set must be re-planned on the remaining healthy
+/// resources.  Displaced tasks — those whose current resource is offline in
+/// `health` — must be re-mapped or aborted; tasks interrupted on a
+/// non-preemptable resource have already had their progress reset by the
+/// simulator.
+struct RescueContext {
+    Time now = 0.0;
+    const Platform* platform = nullptr;
+    const Catalog* catalog = nullptr;
+    std::span<const ActiveTask> active; ///< surviving tasks, advanced to `now`
+    const PlatformHealth* health = nullptr;
+    const ReservationTable* reservations = nullptr;
+
+    [[nodiscard]] const TaskType& type_of(const ActiveTask& task) const {
+        return catalog->type(task.type);
+    }
+};
+
+/// Outcome of a rescue activation.  Every task of the context appears in
+/// exactly one of the two lists; every kept mapping must be schedulable
+/// (the simulator re-verifies — a rescued task never misses its deadline).
+struct RescueDecision {
+    std::vector<TaskAssignment> kept;
+    std::vector<TaskUid> aborted;
+};
+
 /// Abstract resource manager.
 class ResourceManager {
 public:
     virtual ~ResourceManager() = default;
     [[nodiscard]] virtual Decision decide(const ArrivalContext& context) = 0;
+    /// Fault-rescue re-planning.  The default implementation is the
+    /// non-replanning fallback (used by BaselineRM): tasks stay on their
+    /// current resource; anything displaced, or no longer schedulable in
+    /// place under the degraded capacity, is aborted.  Re-planning RMs
+    /// override this to migrate tasks off the lost capacity.
+    [[nodiscard]] virtual RescueDecision rescue(const RescueContext& context);
     [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Build the ScheduleItem for a real task under a candidate assignment.
+/// With a health mask, the duration is inflated by the target resource's
+/// throttle factor (remaining work only; migration overhead is unscaled).
 [[nodiscard]] ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type,
-                                              ResourceId to, Time now);
+                                              ResourceId to, Time now,
+                                              const PlatformHealth* health = nullptr);
 
 /// Build the ScheduleItem for the predicted (virtual) task on a resource.
 [[nodiscard]] ScheduleItem make_predicted_item(const PredictedTask& predicted,

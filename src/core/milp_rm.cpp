@@ -320,6 +320,16 @@ std::optional<MilpRM::Result> MilpRM::optimize(const PlanInstance& instance,
     return result;
 }
 
+RescueDecision MilpRM::rescue(const RescueContext& context) {
+    // Same applicability limits as decide(): the literal Sec 4.2 encoding
+    // has no reserved windows or DVFS operating points.
+    return run_rescue_ladder(
+        context, [this](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+            if (auto result = optimize(instance, options_)) return std::move(result->mapping);
+            return std::nullopt;
+        });
+}
+
 Decision MilpRM::decide(const ArrivalContext& context) {
     // The Sec 4.2 formulation models a single predicted request; deeper
     // lookahead is only supported by the heuristic / branch-and-bound RMs.

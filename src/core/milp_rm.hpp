@@ -36,6 +36,7 @@ public:
     explicit MilpRM(milp::MilpOptions options) : options_(std::move(options)) {}
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    [[nodiscard]] RescueDecision rescue(const RescueContext& context) override;
     [[nodiscard]] std::string name() const override { return "milp"; }
 
     struct Result {

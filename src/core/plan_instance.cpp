@@ -10,13 +10,14 @@
 namespace rmwp {
 namespace {
 
-PlanTask make_plan_task(const ArrivalContext& context, const ActiveTask& task, bool is_candidate) {
-    const TaskType& type = context.type_of(task);
-    const std::size_t n = context.platform->size();
+PlanTask make_plan_task(const Platform& platform, const TaskType& type, Time now,
+                        const ActiveTask& task, bool is_candidate,
+                        const PlatformHealth* health) {
+    const std::size_t n = platform.size();
 
     PlanTask plan;
     plan.uid = task.uid;
-    plan.release = context.now;
+    plan.release = now;
     plan.abs_deadline = task.absolute_deadline;
     plan.pinned = task.pinned;
     plan.pinned_resource = task.resource;
@@ -26,11 +27,19 @@ PlanTask make_plan_task(const ArrivalContext& context, const ActiveTask& task, b
     for (ResourceId i = 0; i < n; ++i) {
         if (!type.executable_on(i)) continue;
         if (task.pinned && i != task.resource) continue;
+        if (health != nullptr && !health->online(i)) continue; // offline = infeasible
         plan.cpm[i] = occupied_time(task, type, i);
+        if (health != nullptr)
+            plan.cpm[i] += (health->throttle(i) - 1.0) * remaining_time(task, type, i);
         plan.epm[i] = assignment_energy(task, type, i);
         plan.executable.push_back(i);
     }
-    RMWP_ENSURE(!plan.executable.empty());
+    // Under a degraded platform a task can have no feasible resource left
+    // (e.g. an accelerator-only candidate while the accelerator is offline);
+    // solvers treat it as immediately unsatisfiable and the ladder rejects
+    // (admission) or aborts it (rescue).  On a healthy platform every task
+    // has at least one executable resource by construction.
+    RMWP_ENSURE(health != nullptr || !plan.executable.empty());
     return plan;
 }
 
@@ -38,6 +47,7 @@ PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& pred
                         std::size_t step) {
     const TaskType& type = context.catalog->type(predicted.type);
     const std::size_t n = context.platform->size();
+    const PlatformHealth* health = context.health;
 
     PlanTask plan;
     plan.uid = kPredictedUidBase + step;
@@ -48,12 +58,32 @@ PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& pred
     plan.epm.assign(n, std::numeric_limits<double>::infinity());
     for (ResourceId i = 0; i < n; ++i) {
         if (!type.executable_on(i)) continue;
+        if (health != nullptr && !health->online(i)) continue;
         plan.cpm[i] = type.wcet(i);
+        if (health != nullptr) plan.cpm[i] *= health->throttle(i);
         plan.epm[i] = type.energy(i);
         plan.executable.push_back(i);
     }
-    RMWP_ENSURE(!plan.executable.empty());
+    RMWP_ENSURE(health != nullptr || !plan.executable.empty());
     return plan;
+}
+
+/// Reservation blocks intersecting [now, now + window), grouped per
+/// physical core (reservations occupy the core whatever operating point
+/// other work uses), plus the per-core blocked-time capacity reduction.
+void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
+    const std::size_t n = instance.platform->size();
+    instance.blocks.resize(n);
+    instance.blocked_time.assign(n, 0.0);
+    if (reservations == nullptr || reservations->empty()) return;
+    for (ResourceId i = 0; i < n; ++i) {
+        const ResourceId anchor = instance.platform->resource(i).physical();
+        auto blocks =
+            reservations->blocks_for(i, instance.now, instance.now + instance.window);
+        for (const ScheduleItem& block : blocks) instance.blocked_time[anchor] += block.duration;
+        instance.blocks[anchor].insert(instance.blocks[anchor].end(), blocks.begin(),
+                                       blocks.end());
+    }
 }
 
 } // namespace
@@ -70,26 +100,38 @@ PlanInstance PlanInstance::build(const ArrivalContext& context, std::size_t pred
 
     instance.tasks.reserve(context.active.size() + 1 + instance.predicted_count);
     for (const ActiveTask& task : context.active)
-        instance.tasks.push_back(make_plan_task(context, task, /*is_candidate=*/false));
-    instance.tasks.push_back(make_plan_task(context, context.candidate, /*is_candidate=*/true));
+        instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(task),
+                                                context.now, task, /*is_candidate=*/false,
+                                                context.health));
+    instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(context.candidate),
+                                            context.now, context.candidate,
+                                            /*is_candidate=*/true, context.health));
     for (std::size_t k = 0; k < instance.predicted_count; ++k)
         instance.tasks.push_back(make_plan_task(context, context.predicted[k], k));
 
-    // Blocks and blocked time are tracked per *physical* core: reservations
-    // occupy the core whatever operating point other work uses.
-    const std::size_t n = context.platform->size();
-    instance.blocks.resize(n);
-    instance.blocked_time.assign(n, 0.0);
-    if (context.reservations != nullptr && !context.reservations->empty()) {
-        for (ResourceId i = 0; i < n; ++i) {
-            const ResourceId anchor = context.platform->resource(i).physical();
-            auto blocks =
-                context.reservations->blocks_for(i, context.now, context.now + instance.window);
-            for (const ScheduleItem& block : blocks) instance.blocked_time[anchor] += block.duration;
-            instance.blocks[anchor].insert(instance.blocks[anchor].end(), blocks.begin(),
-                                           blocks.end());
-        }
-    }
+    fill_blocks(instance, context.reservations);
+    return instance;
+}
+
+PlanInstance PlanInstance::build_rescue(const RescueContext& context,
+                                        std::span<const ActiveTask> tasks) {
+    RMWP_EXPECT(context.platform != nullptr);
+    RMWP_EXPECT(context.catalog != nullptr);
+
+    PlanInstance instance;
+    instance.platform = context.platform;
+    instance.now = context.now;
+    instance.window = 0.0;
+    for (const ActiveTask& task : tasks)
+        instance.window = std::max(instance.window, task.absolute_deadline - context.now);
+
+    instance.tasks.reserve(tasks.size());
+    for (const ActiveTask& task : tasks)
+        instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(task),
+                                                context.now, task, /*is_candidate=*/false,
+                                                context.health));
+
+    fill_blocks(instance, context.reservations);
     return instance;
 }
 

@@ -6,6 +6,7 @@
 // agree on the instance by construction.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -52,6 +53,14 @@ struct PlanInstance {
     [[nodiscard]] static PlanInstance build(const ArrivalContext& context,
                                             std::size_t predicted_count);
 
+    /// Build a fault-rescue instance over `tasks` (a subset of the rescue
+    /// context's survivors): no candidate, no predicted task, resource
+    /// health applied (offline resources excluded from `executable`,
+    /// throttled cpm inflated).  A task can legitimately end up with an
+    /// empty executable set here — it cannot be rescued.
+    [[nodiscard]] static PlanInstance build_rescue(const RescueContext& context,
+                                                   std::span<const ActiveTask> tasks);
+
     [[nodiscard]] std::size_t resource_count() const noexcept { return platform->size(); }
 
     /// ScheduleItem for assigning tasks[index] to resource i.
@@ -81,6 +90,59 @@ template <typename Solver>
         }
     }
     return decision; // reject; the previous mapping stays in force
+}
+
+/// The fault-rescue counterpart of the admission ladder: try to re-plan the
+/// complete surviving set on the healthy capacity; while that fails, shed
+/// the most constraining task (largest best-case load relative to its
+/// remaining slack) and retry.  Tasks with no feasible resource at all are
+/// shed first.  Terminates because every retry plans one task fewer, and
+/// the empty set is trivially feasible.  `solve` maps a PlanInstance to an
+/// optional per-task mapping, exactly as in run_admission_ladder.
+template <typename Solver>
+[[nodiscard]] RescueDecision run_rescue_ladder(const RescueContext& context, Solver&& solve) {
+    RescueDecision decision;
+    std::vector<ActiveTask> keep(context.active.begin(), context.active.end());
+    while (!keep.empty()) {
+        const PlanInstance instance = PlanInstance::build_rescue(context, keep);
+
+        bool shed_unsavable = false;
+        for (std::size_t j = keep.size(); j-- > 0;) {
+            if (!instance.tasks[j].executable.empty()) continue;
+            decision.aborted.push_back(keep[j].uid);
+            keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(j));
+            shed_unsavable = true;
+        }
+        if (shed_unsavable) continue;
+
+        if (const auto mapping = solve(instance)) {
+            decision.kept = instance.real_assignments(*mapping);
+            return decision;
+        }
+
+        std::size_t victim = 0;
+        double worst = -1.0;
+        for (std::size_t j = 0; j < keep.size(); ++j) {
+            const PlanTask& task = instance.tasks[j];
+            double cheapest = task.cpm[task.executable.front()];
+            for (const ResourceId i : task.executable)
+                cheapest = std::min(cheapest, task.cpm[i]);
+            const double slack = std::max(task.time_left(context.now), 1e-9);
+            const double ratio = cheapest / slack;
+            const bool better =
+                ratio > worst ||
+                (ratio == worst && task.abs_deadline > instance.tasks[victim].abs_deadline) ||
+                (ratio == worst && task.abs_deadline == instance.tasks[victim].abs_deadline &&
+                 task.uid > instance.tasks[victim].uid);
+            if (better) {
+                worst = ratio;
+                victim = j;
+            }
+        }
+        decision.aborted.push_back(keep[victim].uid);
+        keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    return decision;
 }
 
 } // namespace rmwp

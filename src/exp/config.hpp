@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/manager.hpp"
+#include "fault/fault.hpp"
 #include "platform/platform.hpp"
 #include "predict/predictor.hpp"
 #include "workload/catalog.hpp"
@@ -34,6 +35,11 @@ struct ExperimentConfig {
     CatalogParams catalog;
     TraceGenParams trace;
     std::size_t trace_count = 500;
+    /// Fault injection (fault-tolerance extension).  The default is
+    /// fault-free, which leaves every existing experiment bit-identical.
+    /// When any rate is set, the runner generates one deterministic fault
+    /// schedule per trace (its own seed stream) covering the trace horizon.
+    FaultParams fault;
 
     [[nodiscard]] Platform make_platform() const;
 

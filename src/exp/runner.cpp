@@ -1,6 +1,8 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "util/check.hpp"
@@ -13,6 +15,16 @@ namespace {
 constexpr std::uint64_t kCatalogStream = 0x0001;
 constexpr std::uint64_t kTraceStream = 0x0002;
 constexpr std::uint64_t kPredictorStream = 0x0003;
+constexpr std::uint64_t kFaultStream = 0x0004;
+
+/// Everything a trace can make the simulator execute ends by the latest
+/// absolute deadline — the fault horizon only needs to cover that.
+Time trace_horizon(const Trace& trace) {
+    Time horizon = 0.0;
+    for (const Request& request : trace)
+        horizon = std::max(horizon, request.absolute_deadline());
+    return horizon;
+}
 
 Catalog build_catalog(const ExperimentConfig& config, const Platform& platform) {
     Rng rng = Rng(config.seed).derive(kCatalogStream);
@@ -27,7 +39,8 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
       catalog_(build_catalog(config_, platform_)),
       traces_(generate_traces(catalog_, config_.trace, config_.trace_count,
                               Rng(config_.seed).derive(kTraceStream))),
-      predictor_root_(Rng(config_.seed).derive(kPredictorStream)) {}
+      predictor_root_(Rng(config_.seed).derive(kPredictorStream)),
+      fault_root_(Rng(config_.seed).derive(kFaultStream)) {}
 
 RunOutcome ExperimentRunner::run(const RunSpec& spec) const {
     const std::unique_ptr<ResourceManager> rm = make_rm(spec.rm);
@@ -55,6 +68,16 @@ RunOutcome ExperimentRunner::run_with(ResourceManager& rm, const PredictorSpec& 
 
         SimOptions sim_options;
         sim_options.lookahead = resolved.lookahead;
+        // Per-trace fault schedule from its own stream: every RM/predictor
+        // pairing faces the identical fault sequence on the same trace, so
+        // rescue comparisons are paired just like admission comparisons.
+        FaultSchedule faults;
+        if (config_.fault.any()) {
+            Rng fault_rng = fault_root_.derive(t);
+            faults = generate_fault_schedule(platform_, config_.fault, trace_horizon(trace),
+                                             fault_rng);
+            sim_options.fault_schedule = &faults;
+        }
         outcome.per_trace.push_back(
             simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options));
     }
@@ -66,9 +89,19 @@ RunOutcome ExperimentRunner::run_with(ResourceManager& rm, const PredictorSpec& 
 std::size_t env_size(const char* name, std::size_t fallback) {
     const char* raw = std::getenv(name);
     if (raw == nullptr || *raw == '\0') return fallback;
+    // strtoull tolerates leading whitespace and signs (wrapping negatives
+    // into huge values); require plain digits so "-5" and " 7" fail loudly
+    // instead of requesting 2^64-5 traces or sneaking past review.
+    for (const char* c = raw; *c != '\0'; ++c)
+        if (*c < '0' || *c > '9')
+            throw std::runtime_error(std::string(name) + " is not a valid positive integer: \"" +
+                                     raw + "\"");
     char* end = nullptr;
     const unsigned long long value = std::strtoull(raw, &end, 10);
-    if (end == raw || *end != '\0' || value == 0) return fallback;
+    if (end == raw || *end != '\0')
+        throw std::runtime_error(std::string(name) + " is not a valid integer: \"" + raw + "\"");
+    if (value == 0)
+        throw std::runtime_error(std::string(name) + " must be at least 1, got \"" + raw + "\"");
     return static_cast<std::size_t>(value);
 }
 

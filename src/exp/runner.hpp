@@ -53,10 +53,14 @@ private:
     Catalog catalog_;
     std::vector<Trace> traces_;
     Rng predictor_root_;
+    Rng fault_root_;
 };
 
 /// Read a size scaling knob from the environment (RMWP_TRACES,
-/// RMWP_REQUESTS, ...), falling back to `fallback` when unset or invalid.
+/// RMWP_REQUESTS, ...), falling back to `fallback` when the variable is
+/// unset or empty.  A set-but-malformed value (non-numeric, trailing
+/// garbage, negative, or zero) throws std::runtime_error: a typo'd scaling
+/// knob must not silently run the default-sized experiment.
 [[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
 
 } // namespace rmwp

@@ -13,6 +13,9 @@ AggregateResult AggregateResult::over(std::span<const TraceResult> results) {
         aggregate.rejection_percent.add(r.rejection_percent());
         aggregate.normalized_energy.add(r.normalized_energy());
         aggregate.migrations.add(static_cast<double>(r.migrations));
+        aggregate.loss_percent.add(r.loss_percent());
+        aggregate.rescued.add(static_cast<double>(r.rescued));
+        aggregate.fault_aborted.add(static_cast<double>(r.fault_aborted));
         if (r.activations > 0)
             aggregate.decision_milliseconds_per_activation.add(
                 1000.0 * r.decision_seconds / static_cast<double>(r.activations));
@@ -62,13 +65,16 @@ void write_results_csv(std::ostream& os, const std::string& label,
                        std::span<const TraceResult> results, bool header) {
     if (header) {
         os << "label,trace,requests,accepted,rejected,aborted,rejection_percent,"
-              "total_energy,normalized_energy,migrations,critical_energy\n";
+              "total_energy,normalized_energy,migrations,critical_energy,"
+              "fault_aborted,rescued,rescue_migrations,resource_outages,throttle_events\n";
     }
     for (std::size_t t = 0; t < results.size(); ++t) {
         const TraceResult& r = results[t];
         os << label << ',' << t << ',' << r.requests << ',' << r.accepted << ',' << r.rejected
            << ',' << r.aborted << ',' << r.rejection_percent() << ',' << r.total_energy << ','
-           << r.normalized_energy() << ',' << r.migrations << ',' << r.critical_energy << '\n';
+           << r.normalized_energy() << ',' << r.migrations << ',' << r.critical_energy << ','
+           << r.fault_aborted << ',' << r.rescued << ',' << r.rescue_migrations << ','
+           << r.resource_outages << ',' << r.throttle_events << '\n';
     }
 }
 

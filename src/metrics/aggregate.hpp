@@ -17,6 +17,11 @@ struct AggregateResult {
     Samples normalized_energy;
     Samples migrations;
     Samples decision_milliseconds_per_activation;
+    /// Fault-tolerance extension: loss (rejected + aborted + fault-aborted)
+    /// and per-trace rescue outcomes (all zero without injected faults).
+    Samples loss_percent;
+    Samples rescued;
+    Samples fault_aborted;
 
     [[nodiscard]] static AggregateResult over(std::span<const TraceResult> results);
 };

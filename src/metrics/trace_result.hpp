@@ -18,6 +18,10 @@ struct TraceResult {
     /// their deadline unreachable (only possible when overhead > 0; their
     /// firm-real-time result would be useless, so they are dropped).
     std::size_t aborted = 0;
+    /// Admitted tasks aborted by a fault-rescue activation: their resource
+    /// failed (or throttled) and no re-mapping could still meet their
+    /// deadline.  Accounting: accepted = completed + aborted + fault_aborted.
+    std::size_t fault_aborted = 0;
 
     double total_energy = 0.0;      ///< execution + migration energy (adaptive tasks)
     double migration_energy = 0.0;
@@ -33,6 +37,26 @@ struct TraceResult {
     /// Wall-clock seconds spent inside ResourceManager::decide.
     double decision_seconds = 0.0;
 
+    // -- fault-tolerance extension (all zero without injected faults) --
+    /// Outage/permanent-failure onsets that struck the platform.
+    std::size_t resource_outages = 0;
+    /// Throttle-interval onsets.
+    std::size_t throttle_events = 0;
+    /// Capacity-loss events that triggered a fault-rescue RM activation.
+    std::size_t rescue_activations = 0;
+    /// Displaced tasks (their resource went offline) that a rescue
+    /// activation re-mapped onto surviving capacity and kept alive.
+    std::size_t rescued = 0;
+    /// Physical migrations performed by rescue activations (also counted in
+    /// `migrations`/`migration_energy`).
+    std::size_t rescue_migrations = 0;
+    /// Wall-clock seconds spent inside ResourceManager::rescue — the
+    /// re-planning component of recovery latency.
+    double rescue_decision_seconds = 0.0;
+    /// Share of total_energy consumed while the platform was degraded
+    /// (at least one resource offline or throttled).
+    double degraded_energy = 0.0;
+
     /// Normalisation reference: the sum over *all* requests (accepted or
     /// not) of the request's resource-averaged energy.  Dividing by it makes
     /// energies comparable across traces and RM configurations: a manager
@@ -45,11 +69,11 @@ struct TraceResult {
                              : 100.0 * static_cast<double>(rejected) /
                                    static_cast<double>(requests);
     }
-    /// Requests that produced no useful result: rejected at admission or
-    /// aborted later because of overhead stalls.
+    /// Requests that produced no useful result: rejected at admission,
+    /// aborted because of overhead stalls, or aborted by a fault rescue.
     [[nodiscard]] double loss_percent() const noexcept {
         return requests == 0 ? 0.0
-                             : 100.0 * static_cast<double>(rejected + aborted) /
+                             : 100.0 * static_cast<double>(rejected + aborted + fault_aborted) /
                                    static_cast<double>(requests);
     }
     [[nodiscard]] double acceptance_percent() const noexcept {

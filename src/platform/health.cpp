@@ -1,0 +1,42 @@
+#include "platform/health.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace rmwp {
+
+PlatformHealth::PlatformHealth(std::size_t resource_count) : states_(resource_count) {}
+
+bool PlatformHealth::all_nominal() const noexcept {
+    for (const ResourceHealth& state : states_)
+        if (!state.online || state.throttle != 1.0) return false;
+    return true;
+}
+
+void PlatformHealth::materialize(const Platform& platform) {
+    if (states_.empty()) states_.resize(platform.size());
+    RMWP_EXPECT(states_.size() == platform.size());
+}
+
+void PlatformHealth::set_online(const Platform& platform, ResourceId physical, bool online) {
+    materialize(platform);
+    for (const Resource& resource : platform)
+        if (resource.physical() == physical) states_[resource.id()].online = online;
+}
+
+void PlatformHealth::set_throttle(const Platform& platform, ResourceId physical, double factor) {
+    RMWP_EXPECT(factor >= 1.0);
+    materialize(platform);
+    for (const Resource& resource : platform)
+        if (resource.physical() == physical) states_[resource.id()].throttle = factor;
+}
+
+std::size_t PlatformHealth::online_physical_count(const Platform& platform) const {
+    std::unordered_set<ResourceId> online_physical;
+    for (const Resource& resource : platform)
+        if (online(resource.id())) online_physical.insert(resource.physical());
+    return online_physical.size();
+}
+
+} // namespace rmwp

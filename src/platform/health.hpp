@@ -1,0 +1,64 @@
+// Runtime health of the platform's resources (fault-tolerance extension).
+//
+// The Platform itself stays immutable — what changes at runtime is carried
+// in a PlatformHealth mask alongside it: per resource, whether it is online
+// and by which factor its effective WCETs are inflated (thermal throttling,
+// frequency capping).  Health is a property of *physical* cores: every
+// operating point of a DVFS core shares one health entry, mapped through
+// Resource::physical().
+//
+// A default-constructed (empty) PlatformHealth means "all resources
+// nominal" and costs nothing to query, so fault-free code paths are
+// unaffected.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace rmwp {
+
+/// Health of one resource entry.
+struct ResourceHealth {
+    bool online = true;     ///< offline resources cannot host any task
+    double throttle = 1.0;  ///< effective-WCET multiplier, >= 1.0
+};
+
+/// Per-resource health mask over one Platform (dense ResourceId indexing,
+/// same order as Platform::resources()).
+class PlatformHealth {
+public:
+    /// All resources nominal; valid for any platform.
+    PlatformHealth() = default;
+
+    /// Explicit mask for a platform with `resource_count` entries.
+    explicit PlatformHealth(std::size_t resource_count);
+
+    /// True when every resource is online at nominal speed.
+    [[nodiscard]] bool all_nominal() const noexcept;
+
+    [[nodiscard]] bool online(ResourceId i) const noexcept {
+        return i >= states_.size() || states_[i].online;
+    }
+    [[nodiscard]] double throttle(ResourceId i) const noexcept {
+        return i >= states_.size() ? 1.0 : states_[i].throttle;
+    }
+
+    /// Take the physical core `physical` (and every operating point sharing
+    /// it) offline or back online.
+    void set_online(const Platform& platform, ResourceId physical, bool online);
+
+    /// Set the throttle factor of the physical core `physical` (and every
+    /// operating point sharing it).  Requires factor >= 1.0.
+    void set_throttle(const Platform& platform, ResourceId physical, double factor);
+
+    /// Number of physical cores currently online (all cores when empty).
+    [[nodiscard]] std::size_t online_physical_count(const Platform& platform) const;
+
+private:
+    void materialize(const Platform& platform);
+
+    std::vector<ResourceHealth> states_; ///< empty = all nominal
+};
+
+} // namespace rmwp

@@ -17,6 +17,8 @@ constexpr double kTimeEps = 1e-6;
 constexpr std::uint32_t kArrivalEvent = 0;
 constexpr std::uint32_t kCompletionEvent = 1;
 constexpr std::uint32_t kActivationEvent = 2;
+constexpr std::uint32_t kFaultOnsetEvent = 3;
+constexpr std::uint32_t kFaultRecoveryEvent = 4;
 
 class Simulation {
 public:
@@ -40,6 +42,15 @@ public:
         for (std::size_t j = 0; j < trace_.size(); ++j)
             events_.schedule(trace_.request(j).arrival, kArrivalEvent, j);
 
+        if (options_.fault_schedule != nullptr) {
+            const auto& faults = options_.fault_schedule->events();
+            for (std::size_t f = 0; f < faults.size(); ++f) {
+                events_.schedule(faults[f].start, kFaultOnsetEvent, f);
+                if (std::isfinite(faults[f].end))
+                    events_.schedule(faults[f].end, kFaultRecoveryEvent, f);
+            }
+        }
+
         while (!events_.empty()) {
             const Event event = events_.pop();
             if (event.kind == kArrivalEvent) {
@@ -50,6 +61,9 @@ public:
                 }
             } else if (event.kind == kActivationEvent) {
                 handle_activation(event.time);
+            } else if (event.kind == kFaultOnsetEvent || event.kind == kFaultRecoveryEvent) {
+                handle_fault(event.time, event.kind == kFaultOnsetEvent,
+                             static_cast<std::size_t>(event.payload));
             } else {
                 advance(event.time);
                 // The completion event is only valid for the current plan
@@ -80,9 +94,18 @@ private:
         return it == actual_work_.end() ? 1.0 : it->second;
     }
 
+    /// Accrue energy, splitting off the share consumed while the platform
+    /// was degraded (some resource offline or throttled).
+    void charge_energy(double energy) {
+        result_.total_energy += energy;
+        if (!health_.all_nominal()) result_.degraded_energy += energy;
+    }
+
     /// Execute the current window schedule from the last advance point up
     /// to `to`: progress fractions, consume migration overhead, accrue
-    /// energy, and retire completed tasks.
+    /// energy, and retire completed tasks.  The health mask is constant
+    /// over the executed span: every health change is a discrete event that
+    /// advances up to itself before updating the mask and rebuilding.
     void advance(Time to) {
         const Time from = clock_;
         to = std::max(to, from);
@@ -117,7 +140,10 @@ private:
                 // resource entry (its operating point on DVFS platforms);
                 // `i` is the physical timeline the segment lives on.
                 const TaskType& type = catalog_.type(task->type);
-                const double wcet = type.wcet(task->resource);
+                // A throttled resource stretches the effective WCET by its
+                // factor (the energy per unit of work is unchanged).
+                const double wcet =
+                    type.wcet(task->resource) * health_.throttle(task->resource);
                 double fraction = std::min(progress_time / wcet, task->remaining_fraction);
 
                 // Early completion: the task's real work can be less than
@@ -131,7 +157,7 @@ private:
                     completed_at = begin + overhead + fraction * wcet;
                 }
 
-                result_.total_energy += fraction * type.energy(task->resource);
+                charge_energy(fraction * type.energy(task->resource));
                 task->remaining_fraction -= fraction;
 
                 if (completed_at >= 0.0) {
@@ -204,6 +230,7 @@ private:
         context.predicted =
             predictor_.predict_horizon(trace_, index, decision_time, options_.lookahead);
         context.reservations = reservations_;
+        context.health = &health_;
 
         const auto started = std::chrono::steady_clock::now();
         const Decision decision = rm_.decide(context);
@@ -246,6 +273,107 @@ private:
         rebuild(decision_time);
     }
 
+    /// Process one fault onset/recovery event: execute up to the event
+    /// under the old health mask, switch to the new mask, then either run a
+    /// rescue activation (capacity loss) or just rebuild (capacity gain).
+    void handle_fault(Time event_time, bool onset, std::size_t fault_index) {
+        advance(event_time);
+        // A decision stall can have pushed the clock past the event; health
+        // and the re-plan are then evaluated at the later instant.
+        const Time now = std::max(event_time, clock_);
+        const FaultEvent& fault = options_.fault_schedule->events()[fault_index];
+        health_ = options_.fault_schedule->health_at(platform_, now);
+
+        if (onset) {
+            if (fault.takes_offline()) ++result_.resource_outages;
+            else ++result_.throttle_events;
+            rescue_activation(now);
+        } else {
+            // Capacity restored (or a throttle relaxed): the current set is
+            // still feasible, so only the schedule needs refreshing.
+            rebuild(now);
+        }
+    }
+
+    /// Capacity was lost: interrupt the tasks on struck resources and let
+    /// the RM re-plan the surviving set on the healthy capacity.
+    void rescue_activation(Time now) {
+        ++result_.rescue_activations;
+
+        // Interrupt displaced tasks (their resource went offline).  On a
+        // preemptable resource the saved context survives the fault and the
+        // task resumes elsewhere after a real migration; non-preemptable
+        // resources (GPU-like) lose the in-flight execution state, so the
+        // task restarts from scratch — no longer started, pinned, or owing
+        // migration time.
+        std::vector<TaskUid> displaced;
+        for (ActiveTask& task : active_) {
+            if (health_.online(task.resource)) continue;
+            displaced.push_back(task.uid);
+            if (!platform_.resource(task.resource).preemptable()) {
+                task.remaining_fraction = 1.0;
+                task.started = false;
+                task.pinned = false;
+                task.pending_overhead = 0.0;
+            }
+        }
+
+        RescueContext context;
+        context.now = now;
+        context.platform = &platform_;
+        context.catalog = &catalog_;
+        context.active = active_;
+        context.health = &health_;
+        context.reservations = reservations_;
+
+        const auto started = std::chrono::steady_clock::now();
+        const RescueDecision decision = rm_.rescue(context);
+        const auto finished = std::chrono::steady_clock::now();
+        result_.rescue_decision_seconds +=
+            std::chrono::duration<double>(finished - started).count();
+
+        if (options_.validate)
+            RMWP_ENSURE(decision.kept.size() + decision.aborted.size() == active_.size());
+
+        for (const TaskUid uid : decision.aborted) {
+            const std::size_t before = active_.size();
+            std::erase_if(active_, [uid](const ActiveTask& task) { return task.uid == uid; });
+            RMWP_ENSURE(active_.size() + 1 == before);
+            ++result_.fault_aborted;
+        }
+
+        const auto was_displaced = [&](TaskUid uid) {
+            return std::find(displaced.begin(), displaced.end(), uid) != displaced.end();
+        };
+        for (const TaskAssignment& assignment : decision.kept) {
+            ActiveTask* task = find_task(assignment.uid);
+            RMWP_ENSURE(task != nullptr);
+            if (options_.validate) RMWP_ENSURE(health_.online(assignment.resource));
+            if (assignment.resource != task->resource) {
+                RMWP_ENSURE(!task->pinned);
+                const bool physical_move = platform_.resource(task->resource).physical() !=
+                                           platform_.resource(assignment.resource).physical();
+                if (task->started) {
+                    const TaskType& type = catalog_.type(task->type);
+                    task->pending_overhead =
+                        type.migration_time(task->resource, assignment.resource);
+                    if (physical_move) {
+                        const double energy =
+                            type.migration_energy(task->resource, assignment.resource);
+                        charge_energy(energy);
+                        result_.migration_energy += energy;
+                        ++result_.migrations;
+                        ++result_.rescue_migrations;
+                    }
+                }
+                task->resource = assignment.resource;
+            }
+            if (was_displaced(assignment.uid)) ++result_.rescued;
+        }
+
+        rebuild(now);
+    }
+
     void apply(const Decision& decision, const ActiveTask& candidate) {
         for (const TaskAssignment& assignment : decision.assignments) {
             if (assignment.uid == candidate.uid) {
@@ -275,7 +403,7 @@ private:
                 if (physical_move) {
                     const double energy =
                         type.migration_energy(task->resource, assignment.resource);
-                    result_.total_energy += energy;
+                    charge_energy(energy);
                     result_.migration_energy += energy;
                     ++result_.migrations;
                 }
@@ -290,8 +418,8 @@ private:
         items.reserve(active_.size());
         Time horizon = now;
         for (const ActiveTask& task : active_) {
-            items.push_back(
-                make_schedule_item(task, catalog_.type(task.type), task.resource, now));
+            items.push_back(make_schedule_item(task, catalog_.type(task.type), task.resource,
+                                               now, &health_));
             horizon = std::max(horizon, task.absolute_deadline);
         }
         if (reservations_ != nullptr && !reservations_->empty())
@@ -345,7 +473,7 @@ private:
         if (actual >= 1.0) return planned;
         const TaskType& type = catalog_.type(task.type);
         double work_left = std::max(0.0, actual - (1.0 - task.remaining_fraction)) *
-                           type.wcet(task.resource);
+                           type.wcet(task.resource) * health_.throttle(task.resource);
         double overhead_left = task.pending_overhead;
         for (const Segment& segment : schedule_.segments_of(task.uid)) {
             double duration = segment.duration();
@@ -383,6 +511,8 @@ private:
     SimOptions options_;
 
     std::vector<ActiveTask> active_;
+    /// Current resource health (all nominal unless faults are injected).
+    PlatformHealth health_;
     WindowSchedule schedule_;
     EventQueue events_;
     Time clock_ = 0.0;

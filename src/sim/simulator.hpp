@@ -20,6 +20,7 @@
 
 #include "core/manager.hpp"
 #include "core/reservation.hpp"
+#include "fault/fault.hpp"
 #include "metrics/trace_result.hpp"
 #include "predict/predictor.hpp"
 #include "sim/event_queue.hpp"
@@ -56,6 +57,16 @@ struct SimOptions {
     /// Seed for the per-task execution-time draws (independent of the
     /// workload generation seeds).
     std::uint64_t execution_seed = 0;
+    /// Injected faults (fault-tolerance extension; null = fault-free, which
+    /// is bit-identical to the pre-extension simulator).  Every fault onset
+    /// and recovery becomes a discrete event: onsets (capacity loss)
+    /// interrupt the tasks running on the struck resource — preemptable
+    /// resources keep their progress, non-preemptable ones (GPU-like) lose
+    /// it — and trigger a fault-rescue RM activation that re-plans the
+    /// surviving set; recoveries only rebuild the schedule under the
+    /// restored capacity.  A rescued task never misses its deadline (the
+    /// rescue re-plan is verified like any admission).
+    const FaultSchedule* fault_schedule = nullptr;
     /// RM activation policy (extension; 0 reproduces the paper's
     /// activation on every arrival).  With a positive period the manager
     /// wakes only at period boundaries and decides on all requests that

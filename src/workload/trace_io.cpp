@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -60,22 +61,52 @@ void write_trace_csv(std::ostream& os, const Trace& trace) {
 }
 
 Trace read_trace_csv(std::istream& is) {
+    const auto fail = [](std::size_t line_number, const std::string& what,
+                         const std::string& line) {
+        throw std::runtime_error("trace CSV line " + std::to_string(line_number) + ": " + what +
+                                 " (line: \"" + line + "\")");
+    };
+
     std::string line;
-    RMWP_EXPECT(static_cast<bool>(std::getline(is, line))); // header
-    RMWP_EXPECT(line == "arrival,type,relative_deadline");
+    if (!std::getline(is, line) || line != "arrival,type,relative_deadline")
+        throw std::runtime_error(
+            "trace CSV: missing or wrong header (expected \"arrival,type,relative_deadline\")");
 
     std::vector<Request> requests;
+    std::size_t line_number = 1;
     while (std::getline(is, line)) {
+        ++line_number;
         if (line.empty()) continue;
         const auto fields = split_csv_line(line);
-        RMWP_EXPECT(fields.size() == 3);
+        if (fields.size() != 3) fail(line_number, "expected 3 fields", line);
         Request r;
-        r.arrival = parse_value(fields[0]);
-        r.type = static_cast<TaskTypeId>(std::stoull(fields[1]));
-        r.relative_deadline = parse_value(fields[2]);
+        try {
+            r.arrival = parse_value(fields[0]);
+            r.type = static_cast<TaskTypeId>(std::stoull(fields[1]));
+            r.relative_deadline = parse_value(fields[2]);
+        } catch (const std::exception&) {
+            fail(line_number, "unparseable field", line);
+        }
+        if (!std::isfinite(r.arrival) || r.arrival < 0.0)
+            fail(line_number, "arrival must be finite and non-negative", line);
+        if (!std::isfinite(r.relative_deadline) || r.relative_deadline <= 0.0)
+            fail(line_number, "relative_deadline must be finite and positive", line);
+        if (!requests.empty() && r.arrival < requests.back().arrival)
+            fail(line_number, "arrivals must be non-decreasing", line);
         requests.push_back(r);
     }
     return Trace(std::move(requests));
+}
+
+void validate_trace(const Trace& trace, const Catalog& catalog) {
+    for (std::size_t j = 0; j < trace.size(); ++j) {
+        const Request& r = trace.request(j);
+        if (r.type >= catalog.size())
+            throw std::runtime_error("trace request " + std::to_string(j) +
+                                     " references unknown task type " + std::to_string(r.type) +
+                                     " (catalog has " + std::to_string(catalog.size()) +
+                                     " types)");
+    }
 }
 
 void write_trace_csv_file(const std::string& path, const Trace& trace) {

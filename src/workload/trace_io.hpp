@@ -18,7 +18,15 @@
 namespace rmwp {
 
 void write_trace_csv(std::ostream& os, const Trace& trace);
+/// Parse a trace, rejecting malformed input with a descriptive
+/// std::runtime_error: wrong header/field counts, unparseable numbers,
+/// negative or non-finite times, and non-monotone arrivals.
 [[nodiscard]] Trace read_trace_csv(std::istream& is);
+
+/// Check that every request's task type exists in the catalog; throws a
+/// descriptive std::runtime_error otherwise.  Run this after loading an
+/// external trace against the catalog it will be simulated with.
+void validate_trace(const Trace& trace, const Catalog& catalog);
 
 void write_trace_csv_file(const std::string& path, const Trace& trace);
 [[nodiscard]] Trace read_trace_csv_file(const std::string& path);

@@ -200,12 +200,21 @@ TEST(Runner, OverheadCoefficientIsResolvedPerTrace) {
 TEST(Runner, EnvSizeParsesAndFallsBack) {
     ASSERT_EQ(unsetenv("RMWP_TEST_KNOB"), 0);
     EXPECT_EQ(env_size("RMWP_TEST_KNOB", 7), 7u);
+    ASSERT_EQ(setenv("RMWP_TEST_KNOB", "", 1), 0);
+    EXPECT_EQ(env_size("RMWP_TEST_KNOB", 7), 7u);
     ASSERT_EQ(setenv("RMWP_TEST_KNOB", "42", 1), 0);
     EXPECT_EQ(env_size("RMWP_TEST_KNOB", 7), 42u);
-    ASSERT_EQ(setenv("RMWP_TEST_KNOB", "bogus", 1), 0);
-    EXPECT_EQ(env_size("RMWP_TEST_KNOB", 7), 7u);
-    ASSERT_EQ(setenv("RMWP_TEST_KNOB", "0", 1), 0);
-    EXPECT_EQ(env_size("RMWP_TEST_KNOB", 7), 7u);
+    ASSERT_EQ(unsetenv("RMWP_TEST_KNOB"), 0);
+}
+
+TEST(Runner, EnvSizeRejectsMalformedValuesLoudly) {
+    // A typo'd scaling knob must not silently run the default-sized
+    // experiment: set-but-invalid values throw instead of falling back.
+    for (const char* bad : {"bogus", "12abc", "0", "-5", "+3", " 7", "1.5"}) {
+        ASSERT_EQ(setenv("RMWP_TEST_KNOB", bad, 1), 0);
+        EXPECT_THROW((void)env_size("RMWP_TEST_KNOB", 7), std::runtime_error)
+            << "value: " << bad;
+    }
     ASSERT_EQ(unsetenv("RMWP_TEST_KNOB"), 0);
 }
 

@@ -1,15 +1,17 @@
 // Cross-feature integration sweep: every extension enabled at once, under
 // randomized configurations.  The invariants that must survive any
 // combination of DVFS operating points, critical reservations, multi-step
-// lookahead, prediction noise/overhead, execution-time variation, and
-// periodic activation:
-//   * no admitted task ever misses its deadline (aborts only with overhead);
-//   * accounting conserves: accepted = completed + aborted, requests =
-//     accepted + rejected;
+// lookahead, prediction noise/overhead, execution-time variation, periodic
+// activation, and injected faults (outages, throttling, permanent failures):
+//   * no admitted task ever misses its deadline (aborts only with overhead
+//     stalls or fault rescues);
+//   * accounting conserves: accepted = completed + aborted + fault_aborted,
+//     requests = accepted + rejected;
 //   * energy is positive and finite, migrations carry energy consistently;
 //   * runs are bit-deterministic given the same seeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
@@ -17,6 +19,7 @@
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
 #include "core/reservation.hpp"
+#include "fault/fault.hpp"
 #include "predict/predictor.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace_generator.hpp"
@@ -35,6 +38,7 @@ struct ChaosConfig {
     double execution_factor = 1.0;
     double activation_period = 0.0;
     int rm = 0; // 0 heuristic, 1 exact, 2 baseline
+    FaultParams fault; // fault injection (all-zero = fault-free)
 };
 
 ChaosConfig random_config(std::uint64_t seed) {
@@ -50,6 +54,15 @@ ChaosConfig random_config(std::uint64_t seed) {
     config.execution_factor = rng.bernoulli(0.5) ? rng.uniform(0.4, 1.0) : 1.0;
     config.activation_period = rng.bernoulli(0.3) ? rng.uniform(2.0, 12.0) : 0.0;
     config.rm = static_cast<int>(rng.index(3));
+    // Fault draws come after every pre-existing one, so the fault-free
+    // subset of the sweep sees the exact configurations it always did.
+    if (rng.bernoulli(0.5)) {
+        config.fault.outage_rate = rng.uniform(1.0, 6.0);
+        config.fault.outage_duration_mean = rng.uniform(20.0, 80.0);
+        config.fault.throttle_rate = rng.bernoulli(0.5) ? rng.uniform(1.0, 4.0) : 0.0;
+        config.fault.permanent_prob = rng.bernoulli(0.3) ? 0.2 : 0.0;
+        config.fault.min_online = 2;
+    }
     return config;
 }
 
@@ -93,8 +106,22 @@ TraceResult run_chaos(const ChaosConfig& config) {
     options.execution_seed = config.seed;
     options.activation_period = config.activation_period;
 
+    FaultSchedule faults;
+    if (config.fault.any()) {
+        Time horizon = 0.0;
+        for (const Request& request : trace)
+            horizon = std::max(horizon, request.absolute_deadline());
+        Rng fault_rng = Rng(config.seed).derive(4);
+        faults = generate_fault_schedule(platform, config.fault, horizon, fault_rng);
+        options.fault_schedule = &faults;
+    }
+
     HeuristicRM heuristic;
-    ExactRM exact;
+    // A bounded node budget keeps the sweep fast: under DVFS + throttling
+    // many admission instances are infeasible, and proving that exhausts
+    // the default 20M-node budget once per arrival.  Every invariant here
+    // is independent of mapping optimality.
+    ExactRM exact(ExactRM::Options{.node_limit = 300'000});
     BaselineRM baseline;
     ResourceManager& rm = config.rm == 0 ? static_cast<ResourceManager&>(heuristic)
                           : config.rm == 1 ? static_cast<ResourceManager&>(exact)
@@ -114,9 +141,20 @@ TEST_P(Chaos, InvariantsSurviveEveryFeatureCombination) {
     EXPECT_EQ(result.deadline_misses, 0u)
         << "seed " << config.seed << " rm " << config.rm;
     EXPECT_EQ(result.accepted + result.rejected, result.requests);
-    EXPECT_EQ(result.completed + result.aborted, result.accepted);
+    EXPECT_EQ(result.completed + result.aborted + result.fault_aborted, result.accepted);
     if (config.overhead == 0.0) {
         EXPECT_EQ(result.aborted, 0u);
+    }
+    if (!config.fault.any()) {
+        EXPECT_EQ(result.resource_outages + result.throttle_events, 0u);
+        EXPECT_EQ(result.fault_aborted, 0u);
+        EXPECT_EQ(result.rescued, 0u);
+        EXPECT_DOUBLE_EQ(result.degraded_energy, 0.0);
+    }
+    EXPECT_LE(result.rescue_migrations, result.migrations);
+    EXPECT_LE(result.degraded_energy, result.total_energy + 1e-9);
+    if (config.rm == 2) {
+        EXPECT_EQ(result.rescued, 0u); // non-replanning: displaced tasks die
     }
     EXPECT_TRUE(std::isfinite(result.total_energy));
     EXPECT_GE(result.total_energy, 0.0);
@@ -142,6 +180,10 @@ TEST_P(Chaos, BitDeterministic) {
     EXPECT_EQ(a.migrations, b.migrations);
     EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
     EXPECT_DOUBLE_EQ(a.critical_energy, b.critical_energy);
+    EXPECT_EQ(a.fault_aborted, b.fault_aborted);
+    EXPECT_EQ(a.rescued, b.rescued);
+    EXPECT_EQ(a.rescue_migrations, b.rescue_migrations);
+    EXPECT_DOUBLE_EQ(a.degraded_energy, b.degraded_energy);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, Chaos, ::testing::Range<std::uint64_t>(0, 40));

@@ -397,7 +397,46 @@ TEST(TraceGenerator, ExtensionValidation) {
 
 TEST(TraceIo, RejectsWrongHeader) {
     std::stringstream buffer("bogus,header\n1,2,3\n");
-    EXPECT_THROW(std::ignore = read_trace_csv(buffer), precondition_error);
+    EXPECT_THROW(std::ignore = read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRowsWithDescriptiveErrors) {
+    const auto parse = [](const std::string& body) {
+        std::stringstream buffer("arrival,type,relative_deadline\n" + body);
+        return read_trace_csv(buffer);
+    };
+    // Baseline: a well-formed body parses.
+    EXPECT_EQ(parse("0,0,5\n1.5,1,4\n").size(), 2u);
+
+    EXPECT_THROW(std::ignore = parse("0,0\n"), std::runtime_error);          // field count
+    EXPECT_THROW(std::ignore = parse("abc,0,5\n"), std::runtime_error);      // unparseable
+    EXPECT_THROW(std::ignore = parse("-1,0,5\n"), std::runtime_error);       // negative arrival
+    EXPECT_THROW(std::ignore = parse("0,0,-5\n"), std::runtime_error);       // negative deadline
+    EXPECT_THROW(std::ignore = parse("0,0,0\n"), std::runtime_error);        // zero deadline
+    EXPECT_THROW(std::ignore = parse("inf,0,5\n"), std::runtime_error);      // non-finite time
+    EXPECT_THROW(std::ignore = parse("5,0,5\n2,0,5\n"), std::runtime_error); // non-monotone
+
+    // The error message names the offending line.
+    try {
+        std::ignore = parse("0,0,5\n-3,0,5\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(TraceIo, ValidateTraceRejectsUnknownTypeIds) {
+    const Platform platform = make_paper_platform();
+    Rng rng(44);
+    CatalogParams params;
+    params.type_count = 10;
+    const Catalog catalog = generate_catalog(platform, params, rng);
+
+    const Trace good({Request{0.0, 9, 5.0}});
+    EXPECT_NO_THROW(validate_trace(good, catalog));
+
+    const Trace bad({Request{0.0, 10, 5.0}});
+    EXPECT_THROW(validate_trace(bad, catalog), std::runtime_error);
 }
 
 } // namespace

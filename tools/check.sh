@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Build the full tree with AddressSanitizer + UBSan and run the test suite
+# under it.  Uses a separate build directory (build-asan/) so the regular
+# `build/` tree stays untouched.
+#
+#   tools/check.sh [extra ctest args...]
+#
+# Any memory error or UB report fails the run (halt_on_error).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" -DRMWP_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"

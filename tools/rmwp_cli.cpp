@@ -14,10 +14,21 @@
 //                             [--exec-factor 1.0]   (actual work in
 //                                                    [factor, 1] x WCET)
 //                             [--activation-period 0] (0 = per arrival)
+//                             [--fault-outage-rate 0]     (outages per core
+//                                                          per 1000 ms)
+//                             [--fault-outage-duration 40]
+//                             [--fault-permanent-prob 0]  (per core)
+//                             [--fault-throttle-rate 0]   (throttles per core
+//                                                          per 1000 ms)
+//                             [--fault-throttle-duration 60]
+//                             [--fault-throttle-factor 2] (WCET multiplier)
+//                             [--fault-min-online 1]
+//                             [--fault-seed <seed>]       (defaults to --seed)
 //
 //   rmwp_cli analyze          --trace trace.csv [--catalog catalog.csv]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -26,6 +37,7 @@
 #include <vector>
 
 #include "core/baseline_rm.hpp"
+#include "fault/fault.hpp"
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
 #include "core/milp_rm.hpp"
@@ -161,12 +173,34 @@ int cmd_run(Args& args) {
     const std::uint64_t seed = args.integer("seed", 42);
     const double exec_factor = args.number("exec-factor", 1.0);
     const double activation_period = args.number("activation-period", 0.0);
+
+    FaultParams fault;
+    fault.outage_rate = args.number("fault-outage-rate", 0.0);
+    fault.outage_duration_mean = args.number("fault-outage-duration", fault.outage_duration_mean);
+    fault.permanent_prob = args.number("fault-permanent-prob", 0.0);
+    fault.throttle_rate = args.number("fault-throttle-rate", 0.0);
+    fault.throttle_duration_mean =
+        args.number("fault-throttle-duration", fault.throttle_duration_mean);
+    if (auto factor = args.get("fault-throttle-factor")) {
+        fault.throttle_factor_min = fault.throttle_factor_max = std::stod(*factor);
+    }
+    fault.min_online = static_cast<std::size_t>(args.integer("fault-min-online", 1));
+    const std::uint64_t fault_seed = args.integer("fault-seed", seed);
     args.reject_unknown();
+
+    if (fault.outage_rate < 0.0 || fault.permanent_prob < 0.0 || fault.throttle_rate < 0.0 ||
+        fault.outage_duration_mean <= 0.0 || fault.throttle_duration_mean <= 0.0)
+        throw std::runtime_error("fault rates must be >= 0 and durations > 0");
+    if (fault.permanent_prob > 1.0)
+        throw std::runtime_error("--fault-permanent-prob must be in [0, 1]");
+    if (fault.throttle_factor_min < 1.0)
+        throw std::runtime_error("--fault-throttle-factor must be >= 1 (it multiplies WCET)");
 
     const Catalog catalog = read_catalog_csv_file(catalog_path);
     if (catalog.resource_count() != platform.size())
         throw std::runtime_error("catalog resource count does not match --cpus/--gpus");
     const Trace trace = read_trace_csv_file(trace_path);
+    validate_trace(trace, catalog);
 
     const std::unique_ptr<Predictor> predictor = make_predictor(spec, catalog, Rng(seed));
     SimOptions options;
@@ -174,6 +208,16 @@ int cmd_run(Args& args) {
     options.execution_time_factor_min = exec_factor;
     options.execution_seed = seed;
     options.activation_period = activation_period;
+
+    FaultSchedule faults;
+    if (fault.any()) {
+        Time horizon = 0.0;
+        for (const Request& request : trace)
+            horizon = std::max(horizon, request.absolute_deadline());
+        Rng fault_rng(fault_seed);
+        faults = generate_fault_schedule(platform, fault, horizon, fault_rng);
+        options.fault_schedule = &faults;
+    }
     const TraceResult result =
         simulate_trace(platform, catalog, trace, *rm, *predictor, options);
 
@@ -192,6 +236,21 @@ int cmd_run(Args& args) {
             ? 1000.0 * result.decision_seconds / static_cast<double>(result.activations)
             : 0.0,
         4);
+    if (fault.any() || !faults.empty()) {
+        table.row().cell("fault events injected").cell(faults.size());
+        table.row().cell("resource outages").cell(result.resource_outages);
+        table.row().cell("throttle events").cell(result.throttle_events);
+        table.row().cell("rescue activations").cell(result.rescue_activations);
+        table.row().cell("rescued tasks").cell(result.rescued);
+        table.row().cell("fault-aborted tasks").cell(result.fault_aborted);
+        table.row().cell("rescue migrations").cell(result.rescue_migrations);
+        table.row().cell("degraded energy (J)").cell(result.degraded_energy, 1);
+        table.row().cell("ms per rescue").cell(
+            result.rescue_activations > 0 ? 1000.0 * result.rescue_decision_seconds /
+                                                static_cast<double>(result.rescue_activations)
+                                          : 0.0,
+            4);
+    }
     table.print(std::cout);
     return 0;
 }
