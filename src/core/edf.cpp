@@ -51,6 +51,9 @@ bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleIt
 
     auto emit = [&](TaskUid uid, Time start, Time end) {
         if (record == nullptr || end <= start) return;
+        // The timeline invariant: segments are emitted in time order and
+        // never overlap (the resource executes one task at a time).
+        RMWP_ENSURE(record->segments.empty() || start >= record->segments.back().end - kEps);
         // Coalesce with the previous segment when the same task continues.
         if (!record->segments.empty() && record->segments.back().uid == uid &&
             std::abs(record->segments.back().end - start) <= kEps) {

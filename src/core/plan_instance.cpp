@@ -110,6 +110,11 @@ PlanInstance PlanInstance::build(const ArrivalContext& context, std::size_t pred
         instance.tasks.push_back(make_plan_task(context, context.predicted[k], k));
 
     fill_blocks(instance, context.reservations);
+    // Instance-shape invariant every solver relies on: active tasks first,
+    // then the candidate, then the predicted tail; window covers all of it.
+    RMWP_ENSURE(instance.tasks.size() ==
+                context.active.size() + 1 + instance.predicted_count);
+    RMWP_ENSURE(instance.window >= 0.0);
     return instance;
 }
 

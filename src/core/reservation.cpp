@@ -1,6 +1,7 @@
 #include "core/reservation.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -67,6 +68,7 @@ std::vector<ScheduleItem> ReservationTable::blocks_for(ResourceId resource, Time
             instance = static_cast<std::uint64_t>(
                 std::ceil((from - task.offset - task.duration) / task.period));
         }
+        Time previous_end = -std::numeric_limits<Time>::infinity();
         for (;; ++instance) {
             const Time start = task.offset + static_cast<double>(instance) * task.period;
             const Time end = start + task.duration;
@@ -81,6 +83,13 @@ std::vector<ScheduleItem> ReservationTable::blocks_for(ResourceId resource, Time
             block.duration = end - block.release;
             block.abs_deadline = end;
             block.reserved = true;
+            // Expanded blocks intersect the query window, carry positive
+            // reserved time, and successive instances of one task never
+            // overlap (duration <= period is a constructor precondition).
+            RMWP_ENSURE(block.release >= from && block.release <= until);
+            RMWP_ENSURE(block.duration > 0.0);
+            RMWP_ENSURE(block.release >= previous_end - 1e-9);
+            previous_end = end;
             blocks.push_back(block);
         }
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace rmwp {
 
 std::optional<Time> WindowSchedule::completion_of(TaskUid uid) const {
@@ -17,6 +19,10 @@ std::vector<Segment> WindowSchedule::segments_of(TaskUid uid) const {
             if (s.uid == uid) result.push_back(s);
     std::sort(result.begin(), result.end(),
               [](const Segment& a, const Segment& b) { return a.start < b.start; });
+    // One task never executes in two places at once: its segments, merged
+    // across all timelines, must still be non-overlapping in time.
+    for (std::size_t s = 1; s < result.size(); ++s)
+        RMWP_ENSURE(result[s].start >= result[s - 1].end - 1e-9);
     return result;
 }
 

@@ -153,6 +153,14 @@ FaultSchedule generate_fault_schedule(const Platform& platform, const FaultParam
     }
 
     sort_events(accepted);
+    // Schedule-wide postcondition (independent of the incremental filter
+    // above): at every onset instant — the only times the offline count can
+    // grow — at least min_online distinct physical cores remain up.
+    for (const FaultEvent& event : accepted) {
+        if (!event.takes_offline()) continue;
+        const std::size_t offline = offline_others_at(accepted, event.resource, event.start) + 1;
+        RMWP_ENSURE(cores.size() - offline >= params.min_online);
+    }
     return FaultSchedule(std::move(accepted));
 }
 

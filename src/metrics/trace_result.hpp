@@ -34,8 +34,20 @@ struct TraceResult {
     std::size_t activations = 0;
     /// Activations whose accepted plan used the predicted task.
     std::size_t plans_with_prediction = 0;
-    /// Wall-clock seconds spent inside ResourceManager::decide.
+    /// Wall-clock seconds spent inside ResourceManager::decide.  (Like the
+    /// audit counters below, excluded from bit-identical run comparisons:
+    /// it measures the host, not the simulated system.)
     double decision_seconds = 0.0;
+
+    // -- auditing (all zero unless built with RMWP_AUDIT and audit on) --
+    /// Audit passes performed (decisions, rescues, rebuilds, completions).
+    /// A violation never increments anything: the simulator throws.
+    std::size_t audit_checks = 0;
+    /// Admission verdicts the differential mode solved exactly.
+    std::size_t audit_differential_checks = 0;
+    /// Heuristic rejections the complete search overturned — allowed
+    /// incompleteness (Sec 5.2), counted for visibility, never an error.
+    std::size_t audit_differential_gaps = 0;
 
     // -- fault-tolerance extension (all zero without injected faults) --
     /// Outage/permanent-failure onsets that struck the platform.

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <cmath>
+
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -7,6 +9,10 @@ namespace rmwp {
 void EventQueue::schedule(Time time, std::uint32_t kind, std::uint64_t payload,
                           std::uint64_t group) {
     RMWP_EXPECT(!cancelled_groups_.contains(group));
+    RMWP_EXPECT(!std::isnan(time));
+    // Scheduling into the dispatched past would silently reorder the
+    // simulation (the event would fire "now" regardless of its timestamp).
+    RMWP_EXPECT(time >= last_popped_time_);
     queue_.push(Entry{Event{time, kind, payload, group}, next_sequence_++});
     ++total_scheduled_;
 }
@@ -27,6 +33,10 @@ Event EventQueue::pop() {
     RMWP_EXPECT(!queue_.empty());
     const Event event = queue_.top().event;
     queue_.pop();
+    // Dispatch is monotone in time; simultaneous events keep their
+    // insertion order (deterministic fault-onset vs. arrival interleaving).
+    RMWP_ENSURE(event.time >= last_popped_time_);
+    last_popped_time_ = event.time;
     return event;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <unordered_set>
 
@@ -24,7 +25,11 @@ struct Event {
 
 class EventQueue {
 public:
-    /// Schedule an event; events at equal times pop in insertion order.
+    /// Schedule an event; events at equal times pop in insertion order —
+    /// the tie-break that makes runs deterministic when, e.g., a fault
+    /// onset coincides with an arrival (arrivals are scheduled first, so
+    /// the arrival is decided under the pre-fault health).  `time` must be
+    /// a number and must not lie before the last popped event.
     void schedule(Time time, std::uint32_t kind, std::uint64_t payload, std::uint64_t group = 0);
 
     /// Invalidate every event scheduled under `group` (lazy: they are
@@ -60,6 +65,9 @@ private:
     std::unordered_set<std::uint64_t> cancelled_groups_;
     std::uint64_t next_sequence_ = 0;
     std::size_t total_scheduled_ = 0;
+    /// Dispatch horizon: no event may be scheduled before it, and pops are
+    /// monotone in time (the tie-break keeps equal times in FIFO order).
+    Time last_popped_time_ = -std::numeric_limits<Time>::infinity();
 };
 
 } // namespace rmwp

@@ -8,6 +8,10 @@
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
+#ifdef RMWP_AUDIT
+#include "audit/audit.hpp"
+#endif
+
 namespace rmwp {
 namespace {
 
@@ -69,6 +73,14 @@ public:
                 // The completion event is only valid for the current plan
                 // generation, so the task must really be gone by now.
                 if (options_.validate) RMWP_ENSURE(find_task(event.payload) == nullptr);
+#ifdef RMWP_AUDIT
+                // Completion audit: the executed window must still satisfy
+                // every structural invariant it satisfied when planned.
+                // (Window-only: task states have advanced past the items.)
+                if (options_.audit)
+                    run_audit(auditor_.audit_window(platform_, audited_now_, audited_items_,
+                                                    schedule_, &health_));
+#endif
                 // With execution-time variation the completion was (likely)
                 // earlier than the WCET plan assumed: re-plan immediately so
                 // queued tasks reclaim the slack.
@@ -237,6 +249,22 @@ private:
         const auto finished = std::chrono::steady_clock::now();
         result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
 
+#ifdef RMWP_AUDIT
+        if (options_.audit) {
+            AuditReport report = auditor_.audit_decision(context, decision);
+            if (options_.audit_differential) {
+                auto differential = auditor_.differential_admission(context, decision);
+                if (differential.checked) {
+                    ++result_.audit_differential_checks;
+                    if (differential.exact_admits && !decision.admitted)
+                        ++result_.audit_differential_gaps;
+                    report.merge(std::move(differential.report));
+                }
+            }
+            run_audit(std::move(report));
+        }
+#endif
+
         if (decision.admitted) {
             ++result_.accepted;
             if (decision.used_prediction) ++result_.plans_with_prediction;
@@ -331,6 +359,10 @@ private:
         const auto finished = std::chrono::steady_clock::now();
         result_.rescue_decision_seconds +=
             std::chrono::duration<double>(finished - started).count();
+
+#ifdef RMWP_AUDIT
+        if (options_.audit) run_audit(auditor_.audit_rescue(context, decision));
+#endif
 
         if (options_.validate)
             RMWP_ENSURE(decision.kept.size() + decision.aborted.size() == active_.size());
@@ -489,7 +521,13 @@ private:
     /// Rebuild the execution schedule (real tasks on their current
     /// resources) and refresh completion events under a new generation.
     void rebuild(Time now) {
+#ifdef RMWP_AUDIT
+        schedule_ = plan_current(now, &audited_items_);
+        audited_now_ = now;
+        if (options_.audit) run_audit(audit_schedule());
+#else
         schedule_ = plan_current(now);
+#endif
         if (options_.validate) RMWP_ENSURE(schedule_.feasible);
 
         events_.cancel_group(generation_);
@@ -501,6 +539,27 @@ private:
                              generation_);
         }
     }
+
+#ifdef RMWP_AUDIT
+    /// Re-derive every invariant of the freshly rebuilt execution schedule:
+    /// the items against the live task states, and the timelines against
+    /// the items.  Valid only right after plan_current (states and items
+    /// agree at that instant).
+    [[nodiscard]] AuditReport audit_schedule() const {
+        AuditReport report = auditor_.audit_items(platform_, catalog_, audited_now_, active_,
+                                                  audited_items_, &health_);
+        report.merge(auditor_.audit_window(platform_, audited_now_, audited_items_, schedule_,
+                                           &health_));
+        return report;
+    }
+
+    /// Count the pass; surface any violation as an exception (the run is
+    /// unusable — some invariant of the paper's model was broken).
+    void run_audit(AuditReport report) {
+        ++result_.audit_checks;
+        if (!report.ok()) throw audit_error(report);
+    }
+#endif
 
     const Platform& platform_;
     const Catalog& catalog_;
@@ -524,6 +583,14 @@ private:
     /// Periodic-activation state.
     std::vector<std::size_t> pending_;
     Time last_activation_scheduled_ = -1.0;
+
+#ifdef RMWP_AUDIT
+    ScheduleAuditor auditor_;
+    /// The items the current execution schedule was built from, and the
+    /// build instant — kept so completions can re-audit the window.
+    std::vector<ScheduleItem> audited_items_;
+    Time audited_now_ = 0.0;
+#endif
 };
 
 } // namespace

@@ -34,6 +34,20 @@ struct SimOptions {
     /// firm-deadline guarantee (cheap; on by default — a violation is a bug
     /// in an RM, not a property of the workload).
     bool validate = true;
+    /// Independent invariant auditing (src/audit).  Only compiled in under
+    /// the RMWP_AUDIT build option; with both on, every admission decision,
+    /// fault rescue, rebuilt execution schedule, and completion is
+    /// re-verified from first principles and a violation throws
+    /// rmwp::audit_error.  The auditor never mutates audited state, so
+    /// audited runs are bit-identical to unaudited ones (only the
+    /// TraceResult audit counters differ).
+    bool audit = true;
+    /// Differential mode: additionally cross-check each admission verdict
+    /// against the complete branch-and-bound search on small instances.
+    /// An RM admit the exact search proves infeasible is a hard violation;
+    /// the reverse (an overly conservative rejection) is only counted.
+    /// Off by default — it re-solves every small instance exactly.
+    bool audit_differential = false;
     /// Sec 5.5 overhead model.  When true (default), the prediction+RM
     /// overhead stalls the whole platform: the manager runs on the managed
     /// cores, so no task makes progress during the decision window — each

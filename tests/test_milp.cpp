@@ -203,7 +203,11 @@ TEST_P(MilpRandom, MatchesExhaustiveEnumeration) {
     std::vector<int> handles;
     std::vector<double> costs;
     for (int v = 0; v < vars; ++v) {
-        handles.push_back(lp.add_binary_variable("b" + std::to_string(v)));
+        // Built in two steps: gcc 12's -Wrestrict misfires on
+        // operator+(const char*, std::string&&) at -O2.
+        std::string name = "b";
+        name += std::to_string(v);
+        handles.push_back(lp.add_binary_variable(name));
         costs.push_back(rng.uniform(-5.0, 5.0));
         lp.set_objective(handles.back(), costs.back());
     }
