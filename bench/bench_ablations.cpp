@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/heuristic_rm.hpp"
 #include "util/table.hpp"
 
@@ -19,10 +20,13 @@ int main() {
     using namespace rmwp;
     using bench::scaled_config;
 
+    bench::JsonReport report("ablations");
+
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 50, 500);
     bench::print_header("E8", "ablations: Algorithm 1 design choices + predictor realism",
                         config);
     ExperimentRunner runner(config);
+    report.add_config("VT", config);
 
     {
         std::cout << "(1) + (2): heuristic design choices, predictor on\n";
@@ -40,7 +44,9 @@ int main() {
         for (const auto& [order_name, order] : orders) {
             for (const auto& [measure_name, measure] : measures) {
                 HeuristicRM rm(Options{order, measure});
-                const RunOutcome outcome = runner.run_with(rm, PredictorSpec::perfect());
+                const RunOutcome outcome =
+                    report.run_with(runner, rm, PredictorSpec::perfect(),
+                                    std::string(order_name) + " + " + measure_name);
                 table.row()
                     .cell(order_name)
                     .cell(measure_name)
@@ -55,7 +61,8 @@ int main() {
     {
         std::cout << "(3): predictor realism, paper heuristic\n";
         Table table({"predictor", "rejection %", "benefit vs off (pp)"});
-        const RunOutcome off = runner.run(RunSpec{RmKind::heuristic, PredictorSpec::off()});
+        const RunOutcome off =
+            report.run(runner, RunSpec{RmKind::heuristic, PredictorSpec::off()}, "realism/");
 
         PredictorSpec realistic;
         realistic.kind = PredictorSpec::Kind::noisy;
@@ -75,7 +82,9 @@ int main() {
             {"oracle", PredictorSpec::perfect()},
         };
         for (const Row& row : rows) {
-            const RunOutcome outcome = runner.run(RunSpec{RmKind::heuristic, row.spec});
+            const RunOutcome outcome = report.run(
+                runner, RunSpec{RmKind::heuristic, row.spec},
+                std::string("realism/") + row.name + ": ");
             table.row()
                 .cell(row.name)
                 .cell(outcome.mean_rejection_percent())
@@ -92,19 +101,22 @@ int main() {
         patterned.trace.arrival_model = ArrivalModel::two_phase;
         patterned.trace.type_correlation = 0.85;
         ExperimentRunner patterned_runner(patterned);
+        report.add_config("VT patterned", patterned);
 
         std::cout << "\n(3b): predictor realism on a patterned stream "
                      "(two-phase arrivals, correlated types)\n";
         Table table({"predictor", "rejection %", "benefit vs off (pp)"});
-        const RunOutcome off =
-            patterned_runner.run(RunSpec{RmKind::heuristic, PredictorSpec::off()});
+        const RunOutcome off = report.run(
+            patterned_runner, RunSpec{RmKind::heuristic, PredictorSpec::off()}, "patterned/");
         PredictorSpec online;
         online.kind = PredictorSpec::Kind::online;
         for (const auto& [name, spec] :
              {std::pair<const char*, PredictorSpec>{"off", PredictorSpec::off()},
               {"online (markov + two-phase)", online},
               {"oracle", PredictorSpec::perfect()}}) {
-            const RunOutcome outcome = patterned_runner.run(RunSpec{RmKind::heuristic, spec});
+            const RunOutcome outcome = report.run(
+                patterned_runner, RunSpec{RmKind::heuristic, spec},
+                std::string("patterned/") + name + ": ");
             table.row()
                 .cell(name)
                 .cell(outcome.mean_rejection_percent())

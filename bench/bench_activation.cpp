@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/heuristic_rm.hpp"
 #include "predict/oracle.hpp"
 #include "predict/predictor.hpp"
@@ -20,8 +21,11 @@ int main() {
 
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 25, 400);
     bench::print_header("E15", "loss % vs RM activation period (ours)", config);
+    bench::JsonReport report("activation");
+    report.add_config("VT", config);
     ExperimentRunner runner(config);
     const double mean_interarrival = config.trace.interarrival_mean;
+    const std::size_t jobs = default_jobs();
 
     for (const double coeff : {0.0, 0.04, 0.12}) {
         std::cout << "per-activation overhead = " << format_fixed(coeff * 100.0, 0)
@@ -29,21 +33,28 @@ int main() {
         Table table({"activation period", "activations/trace", "rejection %",
                      "loss % (rej+aborted)"});
         for (const double period_ia : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-            RunningStats rejection;
-            RunningStats loss;
-            RunningStats activations;
-            for (std::size_t t = 0; t < runner.traces().size(); ++t) {
+            const bench::WallTimer timer;
+            std::vector<TraceResult> results(runner.traces().size());
+            parallel_for(jobs, results.size(), [&](std::size_t t) {
                 const Trace& trace = runner.traces()[t];
                 HeuristicRM rm;
                 OraclePredictor oracle(coeff * trace.mean_interarrival());
                 SimOptions options;
                 options.activation_period = period_ia * mean_interarrival;
-                const TraceResult result = simulate_trace(runner.platform(), runner.catalog(),
-                                                          trace, rm, oracle, options);
+                results[t] = simulate_trace(runner.platform(), runner.catalog(), trace, rm,
+                                            oracle, options);
+            });
+            RunningStats rejection;
+            RunningStats loss;
+            RunningStats activations;
+            for (const TraceResult& result : results) {
                 rejection.add(result.rejection_percent());
                 loss.add(result.loss_percent());
                 activations.add(static_cast<double>(result.activations));
             }
+            report.add_cell_results("coeff " + format_fixed(coeff, 2) + "/period " +
+                                        format_fixed(period_ia, 1),
+                                    results, timer.elapsed_ms(), jobs);
             table.row()
                 .cell(period_ia == 0.0 ? std::string("per-arrival (paper)")
                                        : format_fixed(period_ia, 1) + " x interarrival")

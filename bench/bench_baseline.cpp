@@ -10,22 +10,29 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
     using namespace rmwp;
     using bench::scaled_config;
 
+    bench::JsonReport report("baseline");
+
     for (const DeadlineGroup group : {DeadlineGroup::less_tight, DeadlineGroup::very_tight}) {
         const ExperimentConfig config = scaled_config(group, 40, 400);
         if (group == DeadlineGroup::less_tight)
             bench::print_header("E14", "replanning vs prediction decomposition (ours)", config);
         ExperimentRunner runner(config);
+        const char* group_name = group == DeadlineGroup::less_tight ? "LT" : "VT";
+        report.add_config(group_name, config);
 
         std::cout << to_string(group) << " deadlines\n";
         Table table({"configuration", "rejection %", "gain vs baseline (pp)",
                      "normalized energy", "migrations/trace"});
-        const RunOutcome baseline = runner.run(RunSpec{RmKind::baseline, PredictorSpec::off()});
+        const RunOutcome baseline =
+            report.run(runner, RunSpec{RmKind::baseline, PredictorSpec::off()},
+                       std::string(group_name) + "/");
         struct Entry {
             const char* name;
             RunSpec spec;
@@ -36,7 +43,8 @@ int main() {
             {"exact, pred on", {RmKind::exact, PredictorSpec::perfect()}},
         };
         for (const Entry& entry : entries) {
-            const RunOutcome outcome = runner.run(entry.spec);
+            const RunOutcome outcome =
+                report.run(runner, entry.spec, std::string(group_name) + "/" + entry.name + ": ");
             table.row()
                 .cell(entry.name)
                 .cell(outcome.mean_rejection_percent())

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <iostream>
 
+#include "exec/task_pool.hpp"
 #include "exp/runner.hpp"
 
 namespace rmwp::bench {
@@ -31,7 +32,7 @@ inline void print_header(const char* id, const char* what, const ExperimentConfi
               << "setup: " << config.trace_count << " traces x " << config.trace.length
               << " requests, seed " << config.seed << ", interarrival Gaussian("
               << config.trace.interarrival_mean << ", " << config.trace.interarrival_stddev
-              << "^2)\n\n";
+              << "^2), jobs " << default_jobs() << "\n\n";
 }
 
 } // namespace rmwp::bench

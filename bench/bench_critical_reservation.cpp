@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/heuristic_rm.hpp"
 #include "core/reservation.hpp"
 #include "predict/oracle.hpp"
@@ -23,10 +24,13 @@ int main() {
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 30, 400);
     bench::print_header("E10", "adaptive rejection vs reserved GPU share (ours)", config);
 
+    bench::JsonReport report("critical_reservation");
+    report.add_config("VT", config);
     ExperimentRunner runner(config);
     const Platform& platform = runner.platform();
     const Catalog& catalog = runner.catalog();
     const ResourceId gpu = platform.size() - 1;
+    const std::size_t jobs = default_jobs();
 
     Table table({"GPU reserved %", "rejection off", "rejection on", "benefit (pp)",
                  "critical energy/trace"});
@@ -38,23 +42,33 @@ int main() {
                 {CriticalTask{"gpu-critical", gpu, period, 0.0, share * period, 2.0}});
         }
 
+        const bench::WallTimer timer;
+        std::vector<TraceResult> base_results(runner.traces().size());
+        std::vector<TraceResult> predicted_results(runner.traces().size());
+        parallel_for(jobs, runner.traces().size(), [&](std::size_t t) {
+            const Trace& trace = runner.traces()[t];
+            HeuristicRM rm;
+            NullPredictor off;
+            base_results[t] =
+                share > 0.0 ? simulate_trace(platform, catalog, trace, rm, off, reservations)
+                            : simulate_trace(platform, catalog, trace, rm, off);
+            OraclePredictor oracle;
+            predicted_results[t] =
+                share > 0.0 ? simulate_trace(platform, catalog, trace, rm, oracle, reservations)
+                            : simulate_trace(platform, catalog, trace, rm, oracle);
+        });
+        const double wall_ms = timer.elapsed_ms();
+        const std::string share_label = "share " + format_fixed(share, 1);
+        report.add_cell_results(share_label + "/off", base_results, wall_ms, jobs);
+        report.add_cell_results(share_label + "/on", predicted_results, wall_ms, jobs);
+
         double off_rejection = 0.0;
         double on_rejection = 0.0;
         double critical_energy = 0.0;
         for (std::size_t t = 0; t < runner.traces().size(); ++t) {
-            const Trace& trace = runner.traces()[t];
-            HeuristicRM rm;
-            NullPredictor off;
-            const TraceResult base =
-                share > 0.0 ? simulate_trace(platform, catalog, trace, rm, off, reservations)
-                            : simulate_trace(platform, catalog, trace, rm, off);
-            OraclePredictor oracle;
-            const TraceResult predicted =
-                share > 0.0 ? simulate_trace(platform, catalog, trace, rm, oracle, reservations)
-                            : simulate_trace(platform, catalog, trace, rm, oracle);
-            off_rejection += base.rejection_percent();
-            on_rejection += predicted.rejection_percent();
-            critical_energy += base.critical_energy;
+            off_rejection += base_results[t].rejection_percent();
+            on_rejection += predicted_results[t].rejection_percent();
+            critical_energy += base_results[t].critical_energy;
         }
         const auto count = static_cast<double>(runner.traces().size());
         off_rejection /= count;

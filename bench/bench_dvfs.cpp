@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/heuristic_rm.hpp"
 #include "predict/oracle.hpp"
 #include "predict/predictor.hpp"
@@ -38,7 +39,10 @@ int main() {
 
     std::cout << "E12: DVFS operating points x prediction (ours)\n"
               << "setup: " << traces << " traces x " << requests << " requests, seed " << seed
-              << "\n\n";
+              << ", jobs " << default_jobs() << "\n\n";
+
+    JsonReport report("dvfs");
+    const std::size_t jobs = default_jobs();
 
     const Platform plain = make_platform(false);
     const Platform dvfs = make_platform(true);
@@ -59,20 +63,28 @@ int main() {
         double plain_energy_baseline = 0.0;
         for (const bool use_dvfs : {false, true}) {
             for (const bool predict : {false, true}) {
-                RunningStats rejection;
-                RunningStats energy;
-                for (const Trace& trace : trace_set) {
+                const WallTimer timer;
+                std::vector<TraceResult> results(trace_set.size());
+                parallel_for(jobs, trace_set.size(), [&](std::size_t t) {
+                    const Trace& trace = trace_set[t];
                     HeuristicRM rm;
                     std::unique_ptr<Predictor> predictor;
                     if (predict) predictor = std::make_unique<OraclePredictor>();
                     else predictor = std::make_unique<NullPredictor>();
-                    const TraceResult result =
-                        use_dvfs
-                            ? simulate_trace(dvfs, dvfs_catalog, trace, rm, *predictor)
-                            : simulate_trace(plain, plain_catalog, trace, rm, *predictor);
+                    results[t] = use_dvfs
+                                     ? simulate_trace(dvfs, dvfs_catalog, trace, rm, *predictor)
+                                     : simulate_trace(plain, plain_catalog, trace, rm, *predictor);
+                });
+                RunningStats rejection;
+                RunningStats energy;
+                for (const TraceResult& result : results) {
                     rejection.add(result.rejection_percent());
                     energy.add(result.total_energy);
                 }
+                report.add_cell_results(std::string(to_string(group)) + "/" +
+                                            (use_dvfs ? "dvfs" : "plain") + "/" +
+                                            (predict ? "on" : "off"),
+                                        results, timer.elapsed_ms(), jobs);
                 if (!use_dvfs && !predict) plain_energy_baseline = energy.mean();
                 const double delta =
                     100.0 * (energy.mean() / plain_energy_baseline - 1.0);
@@ -107,12 +119,17 @@ int main() {
         trace_params.group = DeadlineGroup::less_tight;
         const auto trace_set = generate_traces(catalog, trace_params, traces, Rng(seed).derive(2));
 
-        RunningStats energy;
-        for (const Trace& trace : trace_set) {
+        const WallTimer timer;
+        std::vector<TraceResult> results(trace_set.size());
+        parallel_for(jobs, trace_set.size(), [&](std::size_t t) {
             HeuristicRM rm;
             NullPredictor off;
-            energy.add(simulate_trace(dvfs, catalog, trace, rm, off).total_energy);
-        }
+            results[t] = simulate_trace(dvfs, catalog, trace_set[t], rm, off);
+        });
+        RunningStats energy;
+        for (const TraceResult& result : results) energy.add(result.total_energy);
+        report.add_cell_results("static " + format_fixed(s, 2), results, timer.elapsed_ms(),
+                                jobs);
         if (s == 0.0) baseline = energy.mean();
         ablation.row()
             .cell(s, 2)

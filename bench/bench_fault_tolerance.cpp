@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -36,6 +37,8 @@ int main() {
         {"outages + throttling + permanent", mixed},
     };
 
+    bench::JsonReport report("fault_tolerance");
+
     bool first = true;
     for (const Scenario& scenario : scenarios) {
         ExperimentConfig config = scaled_config(DeadlineGroup::less_tight, 30, 300);
@@ -45,6 +48,7 @@ int main() {
             first = false;
         }
         ExperimentRunner runner(config);
+        report.add_config(scenario.name, config);
 
         std::cout << scenario.name << " (outage rate " << scenario.fault.outage_rate
                   << "/core/1000ms, throttle rate " << scenario.fault.throttle_rate << ")\n";
@@ -57,7 +61,8 @@ int main() {
             {RmKind::exact, PredictorSpec::perfect()},
         };
         for (const RunSpec& spec : specs) {
-            const RunOutcome outcome = runner.run(spec);
+            const RunOutcome outcome =
+                report.run(runner, spec, std::string(scenario.name) + "/");
             double degraded = 0.0;
             for (const TraceResult& r : outcome.per_trace) degraded += r.degraded_energy;
             table.row()

@@ -8,14 +8,19 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
     using namespace rmwp;
     using bench::scaled_config;
 
+    bench::JsonReport report("fig3_energy");
+
     for (const DeadlineGroup group : {DeadlineGroup::less_tight, DeadlineGroup::very_tight}) {
         const ExperimentConfig config = scaled_config(group, 50, 500);
+        const char* group_name = group == DeadlineGroup::less_tight ? "LT" : "VT";
+        report.add_config(group_name, config);
         if (group == DeadlineGroup::less_tight)
             bench::print_header("E4", "Fig 3 — normalized energy for {exact, heuristic} x "
                                       "{pred on, off}", config);
@@ -28,8 +33,10 @@ int main() {
                   << "\n";
         for (const RmKind rm : {RmKind::exact, RmKind::heuristic}) {
             for (const bool predict : {false, true}) {
-                const RunOutcome outcome = runner.run(
-                    RunSpec{rm, predict ? PredictorSpec::perfect() : PredictorSpec::off()});
+                const RunOutcome outcome = report.run(
+                    runner,
+                    RunSpec{rm, predict ? PredictorSpec::perfect() : PredictorSpec::off()},
+                    std::string(group_name) + "/");
                 const double acceptance = 100.0 - outcome.mean_rejection_percent();
                 table.row()
                     .cell(to_string(rm))

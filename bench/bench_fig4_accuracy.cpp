@@ -12,19 +12,23 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
     using namespace rmwp;
     using bench::scaled_config;
 
+    bench::JsonReport report("fig4_accuracy");
+
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 50, 500);
     bench::print_header("E5/E6", "Fig 4 — rejection % vs prediction accuracy (VT group)",
                         config);
+    report.add_config("VT", config);
     ExperimentRunner runner(config);
 
     for (const RmKind rm : {RmKind::exact, RmKind::heuristic}) {
-        const RunOutcome off = runner.run(RunSpec{rm, PredictorSpec::off()});
+        const RunOutcome off = report.run(runner, RunSpec{rm, PredictorSpec::off()});
 
         std::cout << "Fig 4a — task-type accuracy sweep (" << to_string(rm) << ")\n";
         Table type_table({"type accuracy", "rejection %", "95% CI"});
@@ -32,7 +36,7 @@ int main() {
             PredictorSpec spec;
             spec.kind = PredictorSpec::Kind::noisy;
             spec.type_accuracy = accuracy;
-            const RunOutcome outcome = runner.run(RunSpec{rm, spec});
+            const RunOutcome outcome = report.run(runner, RunSpec{rm, spec}, "type/");
             type_table.row().cell(accuracy, 2).cell(outcome.mean_rejection_percent()).cell(
                 "+/- " + format_fixed(outcome.aggregate.rejection_percent.ci_halfwidth(), 2));
         }
@@ -46,7 +50,7 @@ int main() {
             PredictorSpec spec;
             spec.kind = PredictorSpec::Kind::noisy;
             spec.time_nrmse = 1.0 - accuracy;
-            const RunOutcome outcome = runner.run(RunSpec{rm, spec});
+            const RunOutcome outcome = report.run(runner, RunSpec{rm, spec}, "time/");
             time_table.row().cell(accuracy, 2).cell(outcome.mean_rejection_percent()).cell(
                 "+/- " + format_fixed(outcome.aggregate.rejection_percent.ci_halfwidth(), 2));
         }

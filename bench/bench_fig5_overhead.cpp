@@ -11,25 +11,29 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
     using namespace rmwp;
     using bench::scaled_config;
 
+    bench::JsonReport report("fig5_overhead");
+
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 50, 500);
     bench::print_header("E7", "Fig 5 — rejection % vs prediction overhead (VT group)", config);
+    report.add_config("VT", config);
     ExperimentRunner runner(config);
 
     for (const RmKind rm : {RmKind::exact, RmKind::heuristic}) {
-        const RunOutcome off = runner.run(RunSpec{rm, PredictorSpec::off()});
+        const RunOutcome off = report.run(runner, RunSpec{rm, PredictorSpec::off()});
 
         std::cout << "overhead sweep (" << to_string(rm) << ")\n";
         Table table({"coeff x100", "rejection %", "loss % (rej+aborted)", "vs off (pp)"});
         for (const double coeff : {0.0, 0.01, 0.02, 0.03, 0.04, 0.06, 0.08}) {
             PredictorSpec spec = PredictorSpec::perfect();
             spec.overhead_interarrival_coeff = coeff;
-            const RunOutcome outcome = runner.run(RunSpec{rm, spec});
+            const RunOutcome outcome = report.run(runner, RunSpec{rm, spec});
             double loss = 0.0;
             for (const TraceResult& r : outcome.per_trace) loss += r.loss_percent();
             loss /= static_cast<double>(outcome.per_trace.size());

@@ -9,11 +9,14 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
     using namespace rmwp;
     using bench::scaled_config;
+
+    bench::JsonReport report("lookahead");
 
     struct Load {
         const char* name;
@@ -27,6 +30,7 @@ int main() {
             bench::print_header("E11", "rejection % vs prediction lookahead depth (ours)",
                                 config);
         ExperimentRunner runner(config);
+        report.add_config(load.name, config);
 
         std::cout << "load: " << load.name << '\n';
         Table table({"lookahead", "rejection % (heuristic)", "rejection % (exact)"});
@@ -34,8 +38,11 @@ int main() {
                                         std::size_t{3}, std::size_t{5}}) {
             PredictorSpec spec = depth == 0 ? PredictorSpec::off() : PredictorSpec::perfect();
             spec.lookahead = depth;
-            const RunOutcome heuristic = runner.run(RunSpec{RmKind::heuristic, spec});
-            const RunOutcome exact = runner.run(RunSpec{RmKind::exact, spec});
+            const std::string prefix =
+                std::string(load.name) + "/depth" + std::to_string(depth) + "/";
+            const RunOutcome heuristic =
+                report.run(runner, RunSpec{RmKind::heuristic, spec}, prefix);
+            const RunOutcome exact = report.run(runner, RunSpec{RmKind::exact, spec}, prefix);
             table.row()
                 .cell(depth == 0 ? std::string("off") : std::to_string(depth))
                 .cell(heuristic.mean_rejection_percent())

@@ -7,6 +7,7 @@
 // optimiser, and the literal MILP encoding on the in-repo simplex solver.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "core/exact_rm.hpp"
@@ -150,4 +151,24 @@ BENCHMARK(BM_ScheduleFeasibility)->Arg(4)->Arg(16);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaulting to a JSON artefact alongside the
+// console output so this bench matches the BENCH_<id>.json convention of
+// the experiment benches.  An explicit --benchmark_out wins.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_micro_latency.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

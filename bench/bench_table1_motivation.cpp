@@ -8,6 +8,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
 #include "predict/predictor.hpp"
@@ -56,10 +58,13 @@ int main() {
 
     std::cout << "E1: Table 1 / Fig 1 motivational scenarios (paper Sec 3)\n\n";
 
+    bench::JsonReport report("table1_motivation");
+
     for (const char* rm_name : {"heuristic", "exact"}) {
         Table table({"scenario", "accepted/total", "energy (J)", "paper"});
         auto run_case = [&](const char* label, const Trace& trace, Predictor& predictor,
                             const char* paper) {
+            const bench::WallTimer timer;
             TraceResult result;
             if (std::string(rm_name) == "heuristic") {
                 HeuristicRM rm;
@@ -68,6 +73,8 @@ int main() {
                 ExactRM rm;
                 result = simulate_trace(platform, catalog, trace, rm, predictor);
             }
+            report.add_cell_results(std::string(rm_name) + "/" + label, {&result, 1},
+                                    timer.elapsed_ms(), 1);
             table.row()
                 .cell(label)
                 .cell(std::to_string(result.accepted) + "/" + std::to_string(result.requests))

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/heuristic_rm.hpp"
 #include "predict/oracle.hpp"
 #include "predict/predictor.hpp"
@@ -21,34 +22,43 @@ int main() {
 
     const ExperimentConfig config = scaled_config(DeadlineGroup::very_tight, 25, 400);
     bench::print_header("E13", "rejection/energy vs WCET pessimism (ours)", config);
+    bench::JsonReport report("wcet_slack");
+    report.add_config("VT", config);
     ExperimentRunner runner(config);
+    const std::size_t jobs = default_jobs();
 
     Table table({"actual work in", "predictor", "rejection %", "energy (J)",
                  "prediction benefit (pp)"});
     for (const double factor : {1.0, 0.9, 0.7, 0.5, 0.3}) {
         double off_rejection = 0.0;
         for (const bool predict : {false, true}) {
-            RunningStats rejection;
-            RunningStats energy;
-            for (std::size_t t = 0; t < runner.traces().size(); ++t) {
+            const bench::WallTimer timer;
+            std::vector<TraceResult> results(runner.traces().size());
+            parallel_for(jobs, results.size(), [&](std::size_t t) {
                 const Trace& trace = runner.traces()[t];
                 HeuristicRM rm;
                 SimOptions options;
                 options.execution_time_factor_min = factor;
                 options.execution_seed = 1000 + t;
-                TraceResult result;
                 if (predict) {
                     OraclePredictor oracle;
-                    result = simulate_trace(runner.platform(), runner.catalog(), trace, rm,
-                                            oracle, options);
+                    results[t] = simulate_trace(runner.platform(), runner.catalog(), trace, rm,
+                                                oracle, options);
                 } else {
                     NullPredictor off;
-                    result = simulate_trace(runner.platform(), runner.catalog(), trace, rm, off,
-                                            options);
+                    results[t] = simulate_trace(runner.platform(), runner.catalog(), trace, rm,
+                                                off, options);
                 }
+            });
+            RunningStats rejection;
+            RunningStats energy;
+            for (const TraceResult& result : results) {
                 rejection.add(result.rejection_percent());
                 energy.add(result.total_energy);
             }
+            report.add_cell_results("factor " + format_fixed(factor, 1) +
+                                        (predict ? "/on" : "/off"),
+                                    results, timer.elapsed_ms(), jobs);
             if (!predict) off_rejection = rejection.mean();
             table.row()
                 .cell("[" + format_fixed(factor, 1) + ", 1.0] x WCET")

@@ -69,8 +69,12 @@ bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleIt
     };
 
     // Bring the items into mutable Work records; run the pinned task (the
-    // one currently executing on a non-preemptable resource) first.
-    std::vector<Work> works;
+    // one currently executing on a non-preemptable resource) first.  The
+    // buffer is thread-local: admission probes call this thousands of times
+    // per trace and must not pay a heap round-trip each time.
+    thread_local std::vector<Work> works_buffer;
+    std::vector<Work>& works = works_buffer;
+    works.clear();
     works.reserve(items.size());
     for (const ScheduleItem& item : items) {
         RMWP_EXPECT(item.duration >= 0.0);
@@ -170,7 +174,54 @@ ResourceScheduleResult schedule_resource(const Resource& resource, Time now,
     return result;
 }
 
+EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
+                                  std::span<const ScheduleItem> items) {
+    if (items.empty()) return EdfPrefilter::feasible;
+
+    // Margin against floating-point ordering noise: the prefilter sums
+    // durations in deadline order while the simulation accumulates along its
+    // dispatch path, so the two totals can disagree in the last few ulps
+    // (~1e-8 at the time magnitudes used here).  Verdicts inside the
+    // [kEps - kSafety, kEps + kSafety] band degrade to `unknown`.
+    constexpr double kSafety = 1e-7;
+
+    thread_local std::vector<const ScheduleItem*> order_buffer;
+    std::vector<const ScheduleItem*>& order = order_buffer;
+    order.clear();
+    order.reserve(items.size());
+
+    // The exact fast path mirrors the simulation only when dispatch order is
+    // pure EDF from `now`: preemptable resource, nothing reserved (blocks
+    // outrank EDF), nothing pinned, everything already released.
+    bool exact = resource.preemptable();
+    for (const ScheduleItem& item : items) {
+        order.push_back(&item);
+        if (item.reserved || item.pinned_first || item.release > now) exact = false;
+    }
+    std::sort(order.begin(), order.end(), [](const ScheduleItem* a, const ScheduleItem* b) {
+        if (a->abs_deadline != b->abs_deadline) return a->abs_deadline < b->abs_deadline;
+        if (a->release != b->release) return a->release < b->release;
+        return a->uid < b->uid;
+    });
+
+    double work = 0.0;
+    for (const ScheduleItem* item : order) {
+        work += item->duration;
+        const double slack = item->abs_deadline - now;
+        // Everything with deadline <= this one must execute inside
+        // [now, deadline]; no schedule can create capacity.
+        if (work > slack + kEps + kSafety) return EdfPrefilter::infeasible;
+        if (work > slack + kEps - kSafety) exact = false;
+    }
+    return exact ? EdfPrefilter::feasible : EdfPrefilter::unknown;
+}
+
 bool resource_feasible(const Resource& resource, Time now, std::span<const ScheduleItem> items) {
+    switch (edf_demand_prefilter(resource, now, items)) {
+    case EdfPrefilter::infeasible: return false;
+    case EdfPrefilter::feasible: return true;
+    case EdfPrefilter::unknown: break;
+    }
     return simulate_edf(resource, now, items, nullptr, nullptr);
 }
 

@@ -36,7 +36,33 @@ struct ResourceScheduleResult {
     const Resource& resource, Time now, std::span<const ScheduleItem> items,
     std::unordered_map<TaskUid, Time>* completion = nullptr);
 
+/// Verdict of the O(k log k) demand-bound prefilter that guards the full
+/// EDF simulation on the admission hot path.
+enum class EdfPrefilter {
+    infeasible, ///< demand provably exceeds supply — certainly infeasible
+    feasible,   ///< exact fast path applied — certainly feasible
+    unknown,    ///< neither certificate holds; run the full simulation
+};
+
+/// Cheap schedulability screen, exact in its decisive verdicts:
+///   * infeasible — for some deadline d, the total work that must finish by
+///     d exceeds the capacity of [now, d].  Valid for any resource
+///     (preemptable or not), any releases, reservations, and pinning: no
+///     schedule can create capacity.
+///   * feasible — when every item is an already-released (release <= now),
+///     unreserved, unpinned task on a preemptable resource, EDF completes
+///     the k-th item (in deadline order) at exactly now + the prefix work,
+///     so the per-deadline check is the full simulation's verdict.
+/// Verdicts carry a safety margin against floating-point ordering noise;
+/// borderline instances return `unknown` instead of guessing
+/// (tests/test_edf.cpp pins agreement with simulate_edf on random
+/// instances).
+[[nodiscard]] EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
+                                                std::span<const ScheduleItem> items);
+
 /// Fast feasibility-only variant of schedule_resource (no timeline built).
+/// Answers from the demand-bound prefilter when it is decisive; falls back
+/// to the full EDF simulation otherwise.
 [[nodiscard]] bool resource_feasible(const Resource& resource, Time now,
                                      std::span<const ScheduleItem> items);
 

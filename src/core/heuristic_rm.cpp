@@ -23,32 +23,62 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
     const std::size_t n = instance.resource_count();
     const std::size_t count = instance.tasks.size();
 
+    const Platform& platform = *instance.platform;
+    auto phys = [&](ResourceId i) { return platform.resource(i).physical(); };
+
+    PlanScratch& s = PlanScratch::local();
+    s.reset(instance);
+
     // Lines 1-6: capacities and desirabilities.  Capacities live on
     // *physical* cores (operating points of a DVFS core share one
     // timeline), and critical reservations are carved out up front (Sec 2:
     // the adaptive policy runs "over the remaining set of resources").
-    const Platform& platform = *instance.platform;
-    auto phys = [&](ResourceId i) { return platform.resource(i).physical(); };
-    std::vector<double> capacity(n, instance.window);
-    for (ResourceId i = 0; i < n; ++i) capacity[i] -= instance.blocked_time[i];
-    std::vector<std::vector<double>> f(count, std::vector<double>(n, kInfinity));
+    for (ResourceId i = 0; i < n; ++i)
+        s.capacity[i] = instance.window - instance.blocked_time[i];
+
+    // Per-task anchor masks drive the dirty-flag invalidation below; beyond
+    // 64 physical anchors (never hit by the paper's platforms) fall back to
+    // invalidating every task.
+    const bool use_masks = n <= 64;
     for (std::size_t j = 0; j < count; ++j) {
         const PlanTask& task = instance.tasks[j];
+        double* row = s.f.data() + j * n;
         for (const ResourceId i : task.executable) {
             const double penalty = task.cpm[i] > task.time_left(instance.now) ? kBigM : 0.0;
             const double base = options.desirability == Options::Desirability::energy
                                     ? task.epm[i]
                                     : task.epm[i] / task.cpm[i];
-            f[j][i] = base + penalty;
+            row[i] = base + penalty;
+            if (use_masks) s.anchor_mask[j] |= std::uint64_t{1} << phys(i);
         }
     }
 
-    std::vector<ResourceId> mapping(count, 0);
-    std::vector<bool> mapped(count, false);
-    std::vector<std::vector<ScheduleItem>> assigned = instance.blocks;
-    // Per-task exclusion set: resources already tried and found unschedulable
-    // for that task in the inner loop (lines 29-34).
-    std::vector<std::vector<bool>> excluded(count, std::vector<bool>(n, false));
+    // A task's (best, second-best, feasible-count) triple only changes when
+    // the capacity of an anchor it can use shrinks or one of its resources
+    // gets excluded; between those events the cached triple is reused, so
+    // the outer loop's rescan is O(dirty tasks), not O(all tasks).
+    auto refresh = [&](std::size_t j) {
+        const PlanTask& task = instance.tasks[j];
+        const double* row = s.f.data() + j * n;
+        const std::uint8_t* row_excluded = s.excluded.data() + j * n;
+        double best = kInfinity;
+        double second = kInfinity;
+        std::size_t feasible = 0;
+        for (const ResourceId i : task.executable) {
+            if (row_excluded[i] || task.cpm[i] > s.capacity[phys(i)]) continue;
+            ++feasible;
+            if (row[i] < best) {
+                second = best;
+                best = row[i];
+            } else if (row[i] < second) {
+                second = row[i];
+            }
+        }
+        s.best_f[j] = best;
+        s.second_f[j] = second;
+        s.feasible_count[j] = feasible;
+        s.dirty[j] = 0;
+    };
 
     std::size_t unmapped = count;
     while (unmapped > 0) {
@@ -58,27 +88,14 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
         double best_regret = -kInfinity;
         std::size_t best_task = count;
         for (std::size_t j = 0; j < count; ++j) {
-            if (mapped[j]) continue;
-            const PlanTask& task = instance.tasks[j];
-
-            double best_f = kInfinity;
-            double second_f = kInfinity;
-            std::size_t feasible = 0;
-            for (const ResourceId i : task.executable) {
-                if (excluded[j][i] || task.cpm[i] > capacity[phys(i)]) continue;
-                ++feasible;
-                if (f[j][i] < best_f) {
-                    second_f = best_f;
-                    best_f = f[j][i];
-                } else if (f[j][i] < second_f) {
-                    second_f = f[j][i];
-                }
-            }
-            if (feasible == 0) return std::nullopt; // line 22: no solution
+            if (s.mapped[j]) continue;
+            if (s.dirty[j]) refresh(j);
+            if (s.feasible_count[j] == 0) return std::nullopt; // line 22: no solution
 
             switch (options.order) {
             case Options::Order::max_regret: {
-                const double regret = feasible == 1 ? kInfinity : second_f - best_f;
+                const double regret =
+                    s.feasible_count[j] == 1 ? kInfinity : s.second_f[j] - s.best_f[j];
                 if (regret > best_regret) {
                     best_regret = regret;
                     best_task = j;
@@ -87,7 +104,7 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
             }
             case Options::Order::edf:
                 if (best_task == count ||
-                    task.abs_deadline < instance.tasks[best_task].abs_deadline)
+                    instance.tasks[j].abs_deadline < instance.tasks[best_task].abs_deadline)
                     best_task = j;
                 break;
             case Options::Order::arrival:
@@ -100,35 +117,44 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
         // Lines 24-34: map the chosen task to its most desirable resource
         // that passes the schedulability check.
         const PlanTask& task = instance.tasks[best_task];
+        const double* row = s.f.data() + best_task * n;
+        std::uint8_t* row_excluded = s.excluded.data() + best_task * n;
         bool placed = false;
         while (!placed) {
             double best_f = kInfinity;
             ResourceId target = n;
             for (const ResourceId i : task.executable) {
-                if (excluded[best_task][i] || task.cpm[i] > capacity[phys(i)]) continue;
-                if (f[best_task][i] < best_f) {
-                    best_f = f[best_task][i];
+                if (row_excluded[i] || task.cpm[i] > s.capacity[phys(i)]) continue;
+                if (row[i] < best_f) {
+                    best_f = row[i];
                     target = i;
                 }
             }
             if (target == n) return std::nullopt; // lines 31-32: no more resources
 
             const ResourceId anchor = phys(target);
-            assigned[anchor].push_back(instance.item_for(best_task, target));
-            if (resource_feasible(platform.resource(anchor), instance.now, assigned[anchor])) {
-                mapping[best_task] = target;
-                mapped[best_task] = true;
-                capacity[anchor] -= task.cpm[target];
+            s.assigned[anchor].push_back(instance.item_for(best_task, target));
+            if (resource_feasible(platform.resource(anchor), instance.now, s.assigned[anchor])) {
+                s.mapping[best_task] = target;
+                s.mapped[best_task] = 1;
+                s.capacity[anchor] -= task.cpm[target];
                 placed = true;
                 --unmapped;
+                // This anchor's capacity shrank: only tasks that can use it
+                // need their desirability triple recomputed.
+                for (std::size_t j = 0; j < count; ++j) {
+                    if (s.mapped[j]) continue;
+                    if (!use_masks || ((s.anchor_mask[j] >> anchor) & 1u)) s.dirty[j] = 1;
+                }
             } else {
-                assigned[anchor].pop_back();
-                excluded[best_task][target] = true;
+                s.assigned[anchor].pop_back();
+                row_excluded[target] = 1;
+                s.dirty[best_task] = 1;
             }
         }
     }
 
-    return mapping;
+    return std::vector<ResourceId>(s.mapping.begin(), s.mapping.end());
 }
 
 Decision HeuristicRM::decide(const ArrivalContext& context) {

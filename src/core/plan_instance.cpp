@@ -71,19 +71,58 @@ PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& pred
 /// Reservation blocks intersecting [now, now + window), grouped per
 /// physical core (reservations occupy the core whatever operating point
 /// other work uses), plus the per-core blocked-time capacity reduction.
+///
+/// Memoised: the admission ladder rebuilds the instance once per rung, and
+/// the rungs almost always share the same (table, now, window) key — the
+/// active set usually dominates the window max — so the periodic expansion
+/// is computed once per activation and the later rungs copy the cached,
+/// dispatch-ordered blocks instead of re-querying the ReservationTable per
+/// resource.  The key uses the table's revision (process-unique, contents
+/// immutable), never its address, so recycled allocations cannot alias.
 void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
     const std::size_t n = instance.platform->size();
     instance.blocks.resize(n);
     instance.blocked_time.assign(n, 0.0);
     if (reservations == nullptr || reservations->empty()) return;
-    for (ResourceId i = 0; i < n; ++i) {
-        const ResourceId anchor = instance.platform->resource(i).physical();
-        auto blocks =
-            reservations->blocks_for(i, instance.now, instance.now + instance.window);
-        for (const ScheduleItem& block : blocks) instance.blocked_time[anchor] += block.duration;
-        instance.blocks[anchor].insert(instance.blocks[anchor].end(), blocks.begin(),
-                                       blocks.end());
+
+    struct BlockCache {
+        std::uint64_t revision = 0;
+        Time now = -1.0;
+        Time window = -1.0;
+        std::size_t resources = 0;
+        std::vector<std::vector<ScheduleItem>> blocks;
+        std::vector<double> blocked_time;
+    };
+    thread_local BlockCache cache;
+    if (cache.revision != reservations->revision() || cache.now != instance.now ||
+        cache.window != instance.window || cache.resources != n) {
+        cache.revision = reservations->revision();
+        cache.now = instance.now;
+        cache.window = instance.window;
+        cache.resources = n;
+        cache.blocks.assign(n, {});
+        cache.blocked_time.assign(n, 0.0);
+        for (ResourceId i = 0; i < n; ++i) {
+            const ResourceId anchor = instance.platform->resource(i).physical();
+            auto blocks =
+                reservations->blocks_for(i, instance.now, instance.now + instance.window);
+            for (const ScheduleItem& block : blocks)
+                cache.blocked_time[anchor] += block.duration;
+            cache.blocks[anchor].insert(cache.blocks[anchor].end(), blocks.begin(),
+                                        blocks.end());
+        }
+        // Dispatch order (release time): keeps every consumer — solver
+        // probes, the demand prefilter's deadline scan — from re-ordering
+        // the same immovable windows on every probe.
+        for (auto& anchor_blocks : cache.blocks)
+            std::sort(anchor_blocks.begin(), anchor_blocks.end(),
+                      [](const ScheduleItem& a, const ScheduleItem& b) {
+                          return a.release != b.release ? a.release < b.release
+                                                        : a.uid < b.uid;
+                      });
     }
+    instance.blocks = cache.blocks;
+    instance.blocked_time = cache.blocked_time;
 }
 
 } // namespace
@@ -153,6 +192,35 @@ ScheduleItem PlanInstance::item_for(std::size_t index, ResourceId i) const {
     item.duration = task.cpm[i];
     item.pinned_first = task.pinned && i == task.pinned_resource;
     return item;
+}
+
+void PlanScratch::reset(const PlanInstance& instance) {
+    const std::size_t n = instance.resource_count();
+    const std::size_t count = instance.tasks.size();
+    constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+    capacity.assign(n, 0.0);
+    f.assign(count * n, kInfinity);
+    excluded.assign(count * n, 0);
+    mapped.assign(count, 0);
+    mapping.assign(count, 0);
+    best_f.assign(count, kInfinity);
+    second_f.assign(count, kInfinity);
+    feasible_count.assign(count, 0);
+    dirty.assign(count, 1);
+    anchor_mask.assign(count, 0);
+
+    if (assigned.size() < n) assigned.resize(n);
+    for (ResourceId i = 0; i < n; ++i) {
+        assigned[i].clear();
+        assigned[i].insert(assigned[i].end(), instance.blocks[i].begin(),
+                           instance.blocks[i].end());
+    }
+}
+
+PlanScratch& PlanScratch::local() {
+    static thread_local PlanScratch scratch;
+    return scratch;
 }
 
 std::vector<TaskAssignment> PlanInstance::real_assignments(

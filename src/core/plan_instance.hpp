@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/manager.hpp"
@@ -70,6 +71,42 @@ struct PlanInstance {
     /// the real tasks (predicted excluded).
     [[nodiscard]] std::vector<TaskAssignment> real_assignments(
         const std::vector<ResourceId>& mapping) const;
+};
+
+/// Reusable scratch arena for admission solvers: the desirability matrix,
+/// exclusion bitmap, per-resource schedule buffers, and the cached
+/// best/second-best desirability state of the heuristic's outer loop.
+/// Admission runs thousands of times per trace, and before this arena every
+/// run allocated (and freed) count x n matrices plus one schedule vector
+/// per resource; reset() reuses the buffers, so steady-state admission does
+/// no heap work at all.  Obtain via local(): the arena is thread-local by
+/// design — the parallel experiment engine shares one RM object across
+/// threads, so solver scratch must never live on the RM itself.
+struct PlanScratch {
+    // Knapsack state (task-major matrices: element (j, i) at [j * n + i]).
+    std::vector<double> capacity;        ///< per physical resource
+    std::vector<double> f;               ///< desirability f_{j,i}
+    std::vector<std::uint8_t> excluded;  ///< tried-and-unschedulable pairs
+    std::vector<std::uint8_t> mapped;
+    std::vector<ResourceId> mapping;
+    std::vector<std::vector<ScheduleItem>> assigned; ///< per physical resource
+
+    // Per-task desirability cache for the dirty-flag incremental
+    // recomputation: a task's best/second-best/feasible-count triple stays
+    // valid until a capacity it can use shrinks or one of its resources is
+    // excluded.
+    std::vector<double> best_f;
+    std::vector<double> second_f;
+    std::vector<std::size_t> feasible_count;
+    std::vector<std::uint8_t> dirty;
+    std::vector<std::uint64_t> anchor_mask; ///< physical anchors usable per task
+
+    /// Size every buffer for the instance and seed the per-resource
+    /// schedule buffers from its reservation blocks.
+    void reset(const PlanInstance& instance);
+
+    /// The calling thread's arena.
+    [[nodiscard]] static PlanScratch& local();
 };
 
 /// The Sec 4.1 admission ladder, generalised to multi-step lookahead:

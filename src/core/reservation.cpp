@@ -1,5 +1,6 @@
 #include "core/reservation.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -22,6 +23,11 @@ std::size_t task_index_of(TaskUid uid) {
 }
 
 } // namespace
+
+std::uint64_t ReservationTable::next_revision() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 ReservationTable::ReservationTable(std::vector<CriticalTask> tasks) : tasks_(std::move(tasks)) {
     for (const CriticalTask& task : tasks_) {

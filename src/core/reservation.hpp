@@ -15,6 +15,7 @@
 // check.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,8 +62,17 @@ public:
     /// The critical task behind a reserved uid.
     [[nodiscard]] const CriticalTask& task_of(TaskUid reserved_uid) const;
 
+    /// Process-unique identity of this table's (immutable) contents, used
+    /// as a memoisation key by the planning layer.  Copies share the
+    /// revision: a ReservationTable is never mutated after construction, so
+    /// equal revisions imply equal block expansions.
+    [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
 private:
+    static std::uint64_t next_revision() noexcept;
+
     std::vector<CriticalTask> tasks_;
+    std::uint64_t revision_ = next_revision();
 };
 
 } // namespace rmwp

@@ -1,0 +1,39 @@
+// ParallelRunner — the deterministic fan-out layer over ExperimentRunner.
+//
+// A whole study is a grid of (RM, predictor) cells x traces.  Running cells
+// one after another (each internally parallel over traces) leaves threads
+// idle at every cell boundary; ParallelRunner instead flattens the full
+// (cell, trace) grid into one index space and feeds it to a single pool, so
+// the tail of one cell overlaps the head of the next.  Each grid point
+// constructs its own RM (make_rm — all RMs are cheap, stateless objects),
+// derives its randomness from the per-trace streams, and writes into an
+// index-addressed slot; outcomes are merged in (spec order, trace order),
+// which makes the result bit-identical to running every cell serially.
+#pragma once
+
+#include <span>
+
+#include "exp/runner.hpp"
+
+namespace rmwp {
+
+class ParallelRunner {
+public:
+    /// `jobs` = 0 selects the session default (RMWP_JOBS or hardware
+    /// concurrency).
+    explicit ParallelRunner(ExperimentConfig config, std::size_t jobs = 0);
+
+    /// Evaluate every spec over every trace on one shared pool.  The
+    /// returned outcomes match `specs` in order; each per_trace vector is in
+    /// trace order, bit-identical to ExperimentRunner::run(spec) at any
+    /// jobs value.
+    [[nodiscard]] std::vector<RunOutcome> run_all(std::span<const RunSpec> specs) const;
+
+    [[nodiscard]] const ExperimentRunner& runner() const noexcept { return runner_; }
+    [[nodiscard]] std::size_t jobs() const noexcept { return runner_.jobs(); }
+
+private:
+    ExperimentRunner runner_;
+};
+
+} // namespace rmwp

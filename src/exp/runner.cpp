@@ -1,10 +1,8 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <stdexcept>
-#include <string>
 
+#include "exec/task_pool.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -33,14 +31,15 @@ Catalog build_catalog(const ExperimentConfig& config, const Platform& platform) 
 
 } // namespace
 
-ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+ExperimentRunner::ExperimentRunner(ExperimentConfig config, std::size_t jobs)
     : config_(std::move(config)),
       platform_(config_.make_platform()),
       catalog_(build_catalog(config_, platform_)),
       traces_(generate_traces(catalog_, config_.trace, config_.trace_count,
                               Rng(config_.seed).derive(kTraceStream))),
       predictor_root_(Rng(config_.seed).derive(kPredictorStream)),
-      fault_root_(Rng(config_.seed).derive(kFaultStream)) {}
+      fault_root_(Rng(config_.seed).derive(kFaultStream)),
+      jobs_(jobs == 0 ? default_jobs() : jobs) {}
 
 RunOutcome ExperimentRunner::run(const RunSpec& spec) const {
     const std::unique_ptr<ResourceManager> rm = make_rm(spec.rm);
@@ -49,60 +48,49 @@ RunOutcome ExperimentRunner::run(const RunSpec& spec) const {
     return outcome;
 }
 
+TraceResult ExperimentRunner::run_trace(std::size_t t, ResourceManager& rm,
+                                        const PredictorSpec& predictor) const {
+    RMWP_EXPECT(t < traces_.size());
+    const Trace& trace = traces_[t];
+
+    PredictorSpec resolved = predictor;
+    if (resolved.overhead_interarrival_coeff != 0.0 && trace.size() >= 2) {
+        resolved.overhead +=
+            resolved.overhead_interarrival_coeff * trace.mean_interarrival();
+        resolved.overhead_interarrival_coeff = 0.0;
+    }
+    const std::unique_ptr<Predictor> instance =
+        make_predictor(resolved, catalog_, predictor_root_.derive(t));
+
+    SimOptions sim_options;
+    sim_options.lookahead = resolved.lookahead;
+    // Per-trace fault schedule from its own stream: every RM/predictor
+    // pairing faces the identical fault sequence on the same trace, so
+    // rescue comparisons are paired just like admission comparisons.
+    FaultSchedule faults;
+    if (config_.fault.any()) {
+        Rng fault_rng = fault_root_.derive(t);
+        faults = generate_fault_schedule(platform_, config_.fault, trace_horizon(trace),
+                                         fault_rng);
+        sim_options.fault_schedule = &faults;
+    }
+    return simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options);
+}
+
 RunOutcome ExperimentRunner::run_with(ResourceManager& rm, const PredictorSpec& predictor) const {
     RunOutcome outcome;
     outcome.spec.predictor = predictor;
-    outcome.per_trace.reserve(traces_.size());
+    outcome.per_trace.resize(traces_.size());
 
-    for (std::size_t t = 0; t < traces_.size(); ++t) {
-        const Trace& trace = traces_[t];
-
-        PredictorSpec resolved = predictor;
-        if (resolved.overhead_interarrival_coeff != 0.0 && trace.size() >= 2) {
-            resolved.overhead +=
-                resolved.overhead_interarrival_coeff * trace.mean_interarrival();
-            resolved.overhead_interarrival_coeff = 0.0;
-        }
-        const std::unique_ptr<Predictor> instance =
-            make_predictor(resolved, catalog_, predictor_root_.derive(t));
-
-        SimOptions sim_options;
-        sim_options.lookahead = resolved.lookahead;
-        // Per-trace fault schedule from its own stream: every RM/predictor
-        // pairing faces the identical fault sequence on the same trace, so
-        // rescue comparisons are paired just like admission comparisons.
-        FaultSchedule faults;
-        if (config_.fault.any()) {
-            Rng fault_rng = fault_root_.derive(t);
-            faults = generate_fault_schedule(platform_, config_.fault, trace_horizon(trace),
-                                             fault_rng);
-            sim_options.fault_schedule = &faults;
-        }
-        outcome.per_trace.push_back(
-            simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options));
-    }
+    // Every trace cell is independent (per-trace RNG streams, index-slot
+    // results), so fanning out over threads cannot perturb a single draw;
+    // the aggregate is rebuilt in trace order below, making serial and
+    // parallel runs bit-identical.
+    parallel_for(jobs_, traces_.size(),
+                 [&](std::size_t t) { outcome.per_trace[t] = run_trace(t, rm, predictor); });
 
     outcome.aggregate = AggregateResult::over(outcome.per_trace);
     return outcome;
-}
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-    const char* raw = std::getenv(name);
-    if (raw == nullptr || *raw == '\0') return fallback;
-    // strtoull tolerates leading whitespace and signs (wrapping negatives
-    // into huge values); require plain digits so "-5" and " 7" fail loudly
-    // instead of requesting 2^64-5 traces or sneaking past review.
-    for (const char* c = raw; *c != '\0'; ++c)
-        if (*c < '0' || *c > '9')
-            throw std::runtime_error(std::string(name) + " is not a valid positive integer: \"" +
-                                     raw + "\"");
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(raw, &end, 10);
-    if (end == raw || *end != '\0')
-        throw std::runtime_error(std::string(name) + " is not a valid integer: \"" + raw + "\"");
-    if (value == 0)
-        throw std::runtime_error(std::string(name) + " must be at least 1, got \"" + raw + "\"");
-    return static_cast<std::size_t>(value);
 }
 
 } // namespace rmwp

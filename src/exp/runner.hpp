@@ -7,6 +7,16 @@
 // binaries honour RMWP_TRACES and RMWP_REQUESTS environment variables so the
 // full study can be reproduced when time allows; the defaults keep every
 // bench within a laptop-minutes budget while preserving the paper's shapes.
+//
+// Parallelism: traces are simulated across `jobs` threads (RMWP_JOBS or the
+// hardware concurrency by default).  Every per-trace random stream is
+// derived from a fixed (seed, stream, trace-index) tuple and results land in
+// index-addressed slots, so the per-trace results and the aggregate are
+// bit-identical for every jobs value (only the host wall-clock fields of
+// TraceResult differ; tests/test_parallel.cpp pins this).  The RM passed to
+// run_with is shared across threads: its decide()/rescue() must be
+// re-entrant, which holds for every RM in this repository (they are
+// stateless beyond construction-time options).
 #pragma once
 
 #include <vector>
@@ -14,6 +24,7 @@
 #include "exp/config.hpp"
 #include "metrics/aggregate.hpp"
 #include "sim/simulator.hpp"
+#include "util/env.hpp"
 
 namespace rmwp {
 
@@ -33,19 +44,28 @@ struct RunOutcome {
 
 class ExperimentRunner {
 public:
-    explicit ExperimentRunner(ExperimentConfig config);
+    /// `jobs` = 0 selects the session default (RMWP_JOBS or hardware
+    /// concurrency); 1 forces serial execution.
+    explicit ExperimentRunner(ExperimentConfig config, std::size_t jobs = 0);
 
     /// Simulate one RM/predictor pairing over every trace.
     [[nodiscard]] RunOutcome run(const RunSpec& spec) const;
 
     /// Same, but with a caller-provided resource manager (e.g. a HeuristicRM
-    /// with ablation options).  The RM must be stateless across traces.
+    /// with ablation options).  The RM must be stateless across traces and
+    /// re-entrant (decide/rescue may run concurrently when jobs > 1).
     [[nodiscard]] RunOutcome run_with(ResourceManager& rm, const PredictorSpec& predictor) const;
+
+    /// Simulate a single trace cell — the unit the parallel engine fans
+    /// out.  Deterministic in (config, t, predictor) alone.
+    [[nodiscard]] TraceResult run_trace(std::size_t t, ResourceManager& rm,
+                                        const PredictorSpec& predictor) const;
 
     [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
     [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
     [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
     [[nodiscard]] const std::vector<Trace>& traces() const noexcept { return traces_; }
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
 private:
     ExperimentConfig config_;
@@ -54,13 +74,7 @@ private:
     std::vector<Trace> traces_;
     Rng predictor_root_;
     Rng fault_root_;
+    std::size_t jobs_ = 1;
 };
-
-/// Read a size scaling knob from the environment (RMWP_TRACES,
-/// RMWP_REQUESTS, ...), falling back to `fallback` when the variable is
-/// unset or empty.  A set-but-malformed value (non-numeric, trailing
-/// garbage, negative, or zero) throws std::runtime_error: a typo'd scaling
-/// knob must not silently run the default-sized experiment.
-[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
 
 } // namespace rmwp

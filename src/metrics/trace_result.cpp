@@ -1,4 +1,27 @@
 #include "metrics/trace_result.hpp"
 
-// TraceResult is a value type; the implementation lives in the header.
-// This translation unit anchors the library target.
+namespace rmwp {
+
+bool equivalent_ignoring_host_time(const TraceResult& a, const TraceResult& b) noexcept {
+    // Exact comparisons throughout, doubles included: the parallel engine
+    // promises bit-identical simulation state, not approximately-equal
+    // state, so any drift here is a determinism bug worth failing on.
+    return a.requests == b.requests && a.accepted == b.accepted && a.rejected == b.rejected &&
+           a.completed == b.completed && a.deadline_misses == b.deadline_misses &&
+           a.aborted == b.aborted && a.fault_aborted == b.fault_aborted &&
+           a.total_energy == b.total_energy && a.migration_energy == b.migration_energy &&
+           a.migrations == b.migrations && a.critical_energy == b.critical_energy &&
+           a.activations == b.activations &&
+           a.plans_with_prediction == b.plans_with_prediction &&
+           a.audit_checks == b.audit_checks &&
+           a.audit_differential_checks == b.audit_differential_checks &&
+           a.audit_differential_gaps == b.audit_differential_gaps &&
+           a.resource_outages == b.resource_outages &&
+           a.throttle_events == b.throttle_events &&
+           a.rescue_activations == b.rescue_activations && a.rescued == b.rescued &&
+           a.rescue_migrations == b.rescue_migrations &&
+           a.degraded_energy == b.degraded_energy &&
+           a.reference_energy == b.reference_energy;
+}
+
+} // namespace rmwp

@@ -96,4 +96,12 @@ struct TraceResult {
     }
 };
 
+/// Bit-exact equality over every simulated-system field.  The two
+/// wall-clock fields (`decision_seconds`, `rescue_decision_seconds`)
+/// measure the host, not the simulation, and are the only fields allowed
+/// to differ between runs — this is the determinism contract the parallel
+/// experiment engine is tested against (DESIGN.md Sec 9).
+[[nodiscard]] bool equivalent_ignoring_host_time(const TraceResult& a,
+                                                 const TraceResult& b) noexcept;
+
 } // namespace rmwp

@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rmwp {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    // strtoull tolerates leading whitespace and signs (wrapping negatives
+    // into huge values); require plain digits so "-5" and " 7" fail loudly
+    // instead of requesting 2^64-5 traces or sneaking past review.
+    for (const char* c = raw; *c != '\0'; ++c)
+        if (*c < '0' || *c > '9')
+            throw std::runtime_error(std::string(name) + " is not a valid positive integer: \"" +
+                                     raw + "\"");
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        throw std::runtime_error(std::string(name) + " is not a valid integer: \"" + raw + "\"");
+    if (value == 0)
+        throw std::runtime_error(std::string(name) + " must be at least 1, got \"" + raw + "\"");
+    return static_cast<std::size_t>(value);
+}
+
+} // namespace rmwp

@@ -1,0 +1,17 @@
+// Strict environment-variable parsing shared by the experiment harness, the
+// execution engine, and the benches (RMWP_TRACES, RMWP_REQUESTS, RMWP_SEED,
+// RMWP_JOBS, ...).
+#pragma once
+
+#include <cstddef>
+
+namespace rmwp {
+
+/// Read a size scaling knob from the environment, falling back to `fallback`
+/// when the variable is unset or empty.  A set-but-malformed value
+/// (non-numeric, trailing garbage, negative, or zero) throws
+/// std::runtime_error: a typo'd scaling knob must not silently run the
+/// default-sized experiment.
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
+
+} // namespace rmwp

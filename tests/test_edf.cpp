@@ -407,5 +407,129 @@ TEST(EdfProperty, PreemptiveEdfDominatesNonPreemptive) {
     EXPECT_GT(gpu_feasible, 50); // the property must actually be exercised
 }
 
+// ---- demand-bound prefilter (the admission hot-path screen) ----
+
+TEST(EdfPrefilterTest, RejectsOverloadAcceptsSlackOnPlainSets) {
+    // Plain = preemptable resource, everything released, nothing reserved
+    // or pinned: both certificates of edf_demand_prefilter can fire.
+    const std::vector<ScheduleItem> overload{item(1, 4.0, 4.0), item(2, 3.0, 5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, overload), EdfPrefilter::infeasible);
+
+    const std::vector<ScheduleItem> slack{item(1, 2.0, 10.0), item(2, 3.0, 20.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, slack), EdfPrefilter::feasible);
+}
+
+TEST(EdfPrefilterTest, FutureReleaseBlocksTheExactFastAccept) {
+    // A not-yet-released item invalidates the fast-accept certificate (EDF
+    // may idle before its release), but overload detection still works: the
+    // work due by a deadline cannot fit whatever the schedule does.
+    const std::vector<ScheduleItem> loose{item(1, 2.0, 30.0),
+                                          item(kPredictedUid, 1.0, 25.0, /*release=*/5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, loose), EdfPrefilter::unknown);
+    EXPECT_TRUE(resource_feasible(kCpu, 0.0, loose));
+
+    const std::vector<ScheduleItem> overload{item(1, 8.0, 9.0),
+                                             item(kPredictedUid, 4.0, 10.0, /*release=*/5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, overload), EdfPrefilter::infeasible);
+    EXPECT_FALSE(resource_feasible(kCpu, 0.0, overload));
+}
+
+TEST(EdfPrefilterTest, DvfsAnchorScreensTheMergedOperatingPointSet) {
+    // Operating points of one DVFS core share the anchor's timeline
+    // (build_window_schedule groups by physical()); by the time the
+    // prefilter runs it sees the merged item set with level-scaled
+    // durations on the anchor resource — both verdicts must match the
+    // window-level outcome.
+    PlatformBuilder builder;
+    builder.add_cpu_with_dvfs({1.0, 0.5}, "CPU");
+    const Platform platform = builder.build();
+    const Resource& anchor = platform.resource(0);
+    ASSERT_EQ(platform.resource(1).physical(), 0u);
+
+    ScheduleItem full = item(1, 2.0, 12.0); // at the 1.0 level
+    ScheduleItem half = item(2, 4.0, 12.0); // 2.0 of work at f = 0.5
+    half.resource = 1;
+    std::vector<ScheduleItem> merged{full, half};
+    EXPECT_EQ(edf_demand_prefilter(anchor, 0.0, merged), EdfPrefilter::feasible);
+    EXPECT_TRUE(build_window_schedule(platform, 0.0, merged).feasible);
+
+    ScheduleItem heavy = item(3, 16.0, 12.0); // 8.0 of work at f = 0.5
+    heavy.resource = 1;
+    merged.push_back(heavy);
+    EXPECT_EQ(edf_demand_prefilter(anchor, 0.0, merged), EdfPrefilter::infeasible);
+    EXPECT_FALSE(build_window_schedule(platform, 0.0, merged).feasible);
+}
+
+TEST(EdfPrefilterTest, DecisiveVerdictsAgreeWithFullSimulation) {
+    // Randomized agreement: on arbitrary instances — reservations,
+    // non-preemptable resources, pinned heads, future releases, zero
+    // durations, now != 0 — a decisive prefilter verdict must match the
+    // full EDF simulation, and resource_feasible (which consults the
+    // prefilter first) must always equal schedule_resource's verdict.
+    Rng rng(20260806);
+    int infeasible_verdicts = 0;
+    int feasible_verdicts = 0;
+    int unknown_verdicts = 0;
+    int mixed_rounds = 0;
+    for (int round = 0; round < 3000; ++round) {
+        const bool gpu = rng.bernoulli(0.3);
+        const Resource& resource = gpu ? kGpu : kCpu;
+        const Time now = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 15.0);
+        const std::size_t count = 1 + rng.index(7);
+
+        std::vector<ScheduleItem> items;
+        bool mixed = false;
+        for (std::size_t j = 0; j < count; ++j) {
+            const double duration = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.2, 6.0);
+            Time release = now;
+            if (rng.bernoulli(0.25)) { // future release (predicted-style)
+                release = now + rng.uniform(0.0, 8.0);
+                mixed = true;
+            }
+            items.push_back(
+                item(j + 1, duration, release + rng.uniform(0.5, 22.0), release));
+        }
+        if (rng.bernoulli(0.2)) { // one exact-window reservation
+            ScheduleItem reservation;
+            reservation.uid = kReservedUidBase + 1;
+            reservation.release = now + rng.uniform(0.0, 10.0);
+            reservation.duration = rng.uniform(0.5, 3.0);
+            reservation.abs_deadline = reservation.release + reservation.duration;
+            reservation.reserved = true;
+            items.push_back(reservation);
+            mixed = true;
+        }
+        if (gpu && rng.bernoulli(0.3)) { // currently-executing head task
+            ScheduleItem pinned = item(100, rng.uniform(0.5, 4.0),
+                                       now + rng.uniform(1.0, 20.0), now, /*pinned=*/true);
+            items.push_back(pinned);
+            mixed = true;
+        }
+        if (gpu || mixed) ++mixed_rounds;
+
+        const EdfPrefilter verdict = edf_demand_prefilter(resource, now, items);
+        const bool simulated = schedule_resource(resource, now, items).feasible;
+        switch (verdict) {
+        case EdfPrefilter::infeasible:
+            ++infeasible_verdicts;
+            EXPECT_FALSE(simulated) << "round " << round;
+            break;
+        case EdfPrefilter::feasible:
+            ++feasible_verdicts;
+            EXPECT_TRUE(simulated) << "round " << round;
+            break;
+        case EdfPrefilter::unknown:
+            ++unknown_verdicts;
+            break;
+        }
+        EXPECT_EQ(resource_feasible(resource, now, items), simulated) << "round " << round;
+    }
+    // Every verdict class and the awkward-instance pool must be exercised.
+    EXPECT_GT(infeasible_verdicts, 100);
+    EXPECT_GT(feasible_verdicts, 100);
+    EXPECT_GT(unknown_verdicts, 100);
+    EXPECT_GT(mixed_rounds, 500);
+}
+
 } // namespace
 } // namespace rmwp

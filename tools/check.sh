@@ -1,19 +1,40 @@
 #!/usr/bin/env sh
-# Build the full tree with AddressSanitizer + UBSan and run the test suite
-# under it.  Uses a separate build directory (build-asan/) so the regular
-# `build/` tree stays untouched.
+# Build the full tree under a sanitizer and run the test suite.
 #
-#   tools/check.sh [extra ctest args...]
+#   tools/check.sh [--tsan] [extra ctest args...]
 #
-# Any memory error or UB report fails the run (halt_on_error).
+# Default: AddressSanitizer + UBSan in build-asan/ (any memory error or UB
+# report fails the run).  With --tsan: ThreadSanitizer in build-tsan/ — the
+# gate for the parallel experiment engine (src/exec, exp/runner fan-out);
+# any data race fails the run.  Both use separate build directories so the
+# regular `build/` tree stays untouched.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="$repo_root/build-asan"
 
-cmake -B "$build_dir" -S "$repo_root" -DRMWP_SANITIZE=ON
-cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+mode=asan
+if [ "${1:-}" = "--tsan" ]; then
+    mode=tsan
+    shift
+fi
 
-ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
+if [ "$mode" = "tsan" ]; then
+    build_dir="$repo_root/build-tsan"
+    cmake -B "$build_dir" -S "$repo_root" -DRMWP_SANITIZE_THREAD=ON
+    cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+    # Force multi-threaded execution inside every test so TSan actually sees
+    # the pool: RMWP_JOBS=4 makes parallel_for spawn workers even on a
+    # single-core host.
+    RMWP_JOBS=4 \
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+        ctest --test-dir "$build_dir" --output-on-failure \
+            -j "$(nproc 2>/dev/null || echo 4)" "$@"
+else
+    build_dir="$repo_root/build-asan"
+    cmake -B "$build_dir" -S "$repo_root" -DRMWP_SANITIZE=ON
+    cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+    ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --test-dir "$build_dir" --output-on-failure \
+            -j "$(nproc 2>/dev/null || echo 4)" "$@"
+fi

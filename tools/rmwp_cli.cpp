@@ -27,6 +27,15 @@
 //
 //   rmwp_cli analyze          --trace trace.csv [--catalog catalog.csv]
 //
+//   rmwp_cli experiment       [--group VT|LT] [--traces 50] [--requests 500]
+//                             [--seed 42]
+//                             [--rm heuristic|exact|milp|baseline|all]
+//                             [--predictor off|oracle|noisy|online]
+//                             [--jobs N]   (worker threads; 0 = RMWP_JOBS or
+//                                           the hardware concurrency.
+//                                           Results are bit-identical for
+//                                           every value — see DESIGN.md §9)
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
 #include <iostream>
@@ -37,6 +46,7 @@
 #include <vector>
 
 #include "core/baseline_rm.hpp"
+#include "exp/parallel_runner.hpp"
 #include "fault/fault.hpp"
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
@@ -255,6 +265,63 @@ int cmd_run(Args& args) {
     return 0;
 }
 
+int cmd_experiment(Args& args) {
+    DeadlineGroup group = DeadlineGroup::very_tight;
+    if (auto value = args.get("group")) {
+        if (*value == "VT") group = DeadlineGroup::very_tight;
+        else if (*value == "LT") group = DeadlineGroup::less_tight;
+        else throw std::runtime_error("--group must be VT or LT");
+    }
+    ExperimentConfig config = ExperimentConfig::paper(group, args.integer("seed", 42));
+    config.trace_count = static_cast<std::size_t>(args.integer("traces", 50));
+    config.trace.length = static_cast<std::size_t>(args.integer("requests", 500));
+    const auto jobs = static_cast<std::size_t>(args.integer("jobs", 0));
+
+    std::vector<RmKind> rms;
+    const std::string rm_name = args.get("rm").value_or("heuristic");
+    if (rm_name == "heuristic") rms = {RmKind::heuristic};
+    else if (rm_name == "exact") rms = {RmKind::exact};
+    else if (rm_name == "milp") rms = {RmKind::milp};
+    else if (rm_name == "baseline") rms = {RmKind::baseline};
+    else if (rm_name == "all")
+        rms = {RmKind::baseline, RmKind::heuristic, RmKind::exact, RmKind::milp};
+    else throw std::runtime_error("--rm must be heuristic, exact, milp, baseline, or all");
+
+    PredictorSpec spec;
+    const std::string predictor_name = args.get("predictor").value_or("off");
+    if (predictor_name == "off") spec.kind = PredictorSpec::Kind::none;
+    else if (predictor_name == "oracle") spec.kind = PredictorSpec::Kind::oracle;
+    else if (predictor_name == "noisy") spec.kind = PredictorSpec::Kind::noisy;
+    else if (predictor_name == "online") spec.kind = PredictorSpec::Kind::online;
+    else throw std::runtime_error("--predictor must be off, oracle, noisy, or online");
+    args.reject_unknown();
+
+    std::vector<RunSpec> specs;
+    specs.reserve(rms.size());
+    for (const RmKind rm : rms) specs.push_back(RunSpec{rm, spec});
+
+    const ParallelRunner runner(config, jobs);
+    std::cout << "experiment: " << to_string(group) << " group, " << config.trace_count
+              << " traces x " << config.trace.length << " requests, seed " << config.seed
+              << ", jobs " << runner.jobs() << '\n';
+    const std::vector<RunOutcome> outcomes = runner.run_all(specs);
+
+    Table table({"RM", "predictor", "rejection %", "95% CI", "normalized energy",
+                 "migrations/trace", "ms/decision"});
+    for (const RunOutcome& outcome : outcomes) {
+        table.row()
+            .cell(to_string(outcome.spec.rm))
+            .cell(outcome.spec.predictor.label())
+            .cell(outcome.mean_rejection_percent())
+            .cell("+/- " + format_fixed(outcome.aggregate.rejection_percent.ci_halfwidth(), 2))
+            .cell(outcome.mean_normalized_energy(), 4)
+            .cell(outcome.aggregate.migrations.mean(), 1)
+            .cell(outcome.aggregate.decision_milliseconds_per_activation.mean(), 4);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 int cmd_analyze(Args& args) {
     const std::string trace_path = args.require("trace");
     const std::optional<std::string> catalog_path = args.get("catalog");
@@ -299,7 +366,8 @@ int cmd_analyze(Args& args) {
 }
 
 void usage() {
-    std::cerr << "usage: rmwp_cli <generate-catalog|generate-trace|run|analyze> --key value ...\n"
+    std::cerr << "usage: rmwp_cli <generate-catalog|generate-trace|run|analyze|experiment>"
+                 " --key value ...\n"
                  "see the header of tools/rmwp_cli.cpp for the full option list\n";
 }
 
@@ -317,6 +385,7 @@ int main(int argc, char** argv) {
         if (command == "generate-trace") return cmd_generate_trace(args);
         if (command == "run") return cmd_run(args);
         if (command == "analyze") return cmd_analyze(args);
+        if (command == "experiment") return cmd_experiment(args);
         usage();
         return 1;
     } catch (const std::exception& error) {
