@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace rmwp::bench {
@@ -185,6 +186,32 @@ inline Json config_json(const ExperimentConfig& config) {
     return j;
 }
 
+/// Serialise a metrics snapshot (DESIGN.md §10).  Host-scoped entries are
+/// included — BENCH files already carry wall-clock figures — but the sim-
+/// scoped ones are the comparable part across machines.
+inline Json obs_metrics_json(const obs::MetricsSnapshot& snapshot) {
+    Json counters = Json::object();
+    for (const auto& counter : snapshot.counters)
+        counters.set(counter.name, counter.value);
+    Json gauges = Json::object();
+    for (const auto& gauge : snapshot.gauges) gauges.set(gauge.name, gauge.value);
+    Json histograms = Json::object();
+    for (const auto& histogram : snapshot.histograms) {
+        Json h = Json::object();
+        h.set("count", histogram.count);
+        h.set("sum", histogram.sum);
+        Json buckets = Json::array();
+        for (const std::uint64_t bucket : histogram.buckets) buckets.push(bucket);
+        h.set("buckets", std::move(buckets));
+        histograms.set(histogram.name, std::move(h));
+    }
+    Json j = Json::object();
+    j.set("counters", std::move(counters));
+    j.set("gauges", std::move(gauges));
+    j.set("histograms", std::move(histograms));
+    return j;
+}
+
 inline Json outcome_json(const RunOutcome& outcome) {
     std::uint64_t requests = 0;
     std::uint64_t accepted = 0;
@@ -210,6 +237,9 @@ inline Json outcome_json(const RunOutcome& outcome) {
     j.set("decision_ms_per_activation",
           samples_json(outcome.aggregate.decision_milliseconds_per_activation));
     j.set("loss_percent", samples_json(outcome.aggregate.loss_percent));
+    obs::MetricsSnapshot merged;
+    for (const TraceResult& trace : outcome.per_trace) merged.merge(trace.obs_metrics);
+    if (!merged.empty()) j.set("obs", obs_metrics_json(merged));
     return j;
 }
 

@@ -41,6 +41,7 @@ Decision BaselineRM::decide(const ArrivalContext& context) {
         }
         occupied[anchor].pop_back();
     }
+    decision.reason = RejectReason::baseline_no_fit;
     return decision; // reject
 }
 

@@ -76,7 +76,7 @@ struct Search {
 } // namespace
 
 std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
-                                                 const Options& options) {
+                                                 const Options& options, bool* proven_out) {
     const std::size_t count = instance.tasks.size();
 
     Search search;
@@ -110,6 +110,7 @@ std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
 
     search.dfs(0, 0.0);
 
+    if (proven_out != nullptr) *proven_out = search.proven;
     if (search.best.empty()) return std::nullopt;
     Result result;
     result.mapping = std::move(search.best);
@@ -120,11 +121,22 @@ std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
 }
 
 Decision ExactRM::decide(const ArrivalContext& context) {
-    return run_admission_ladder(
-        context, [this](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
-            if (auto result = optimize(instance, options_)) return std::move(result->mapping);
+    // Track whether every failed ladder step exhausted its search tree: if
+    // so the rejection is a proof of infeasibility, otherwise (node limit
+    // hit with no incumbent) it is only the budget speaking.
+    bool proven = true;
+    Decision decision = run_admission_ladder(
+        context,
+        [this, &proven](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+            bool step_proven = true;
+            if (auto result = optimize(instance, options_, &step_proven))
+                return std::move(result->mapping);
+            proven = proven && step_proven;
             return std::nullopt;
         });
+    if (!decision.admitted)
+        decision.reason = proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
+    return decision;
 }
 
 RescueDecision ExactRM::rescue(const RescueContext& context) {

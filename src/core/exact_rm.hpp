@@ -55,8 +55,13 @@ public:
     };
 
     /// Find the minimum-energy feasible mapping; nullopt when infeasible.
+    /// With `proven_out`, reports whether a nullopt is a *proof* of
+    /// infeasibility (search tree exhausted) or only the node budget
+    /// running out with no incumbent — the distinction behind the
+    /// proved_infeasible vs solver_infeasible rejection reasons.
     [[nodiscard]] static std::optional<Result> optimize(const PlanInstance& instance,
-                                                        const Options& options);
+                                                        const Options& options,
+                                                        bool* proven_out = nullptr);
     [[nodiscard]] static std::optional<Result> optimize(const PlanInstance& instance) {
         return optimize(instance, Options{});
     }

@@ -158,8 +158,12 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
 }
 
 Decision HeuristicRM::decide(const ArrivalContext& context) {
-    return run_admission_ladder(
+    Decision decision = run_admission_ladder(
         context, [this](const PlanInstance& instance) { return map_tasks(instance, options_); });
+    // Algorithm 1 is incomplete: a rejection means the regret-driven search
+    // was exhausted, not that no schedulable mapping exists (Sec 5.2).
+    if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
+    return decision;
 }
 
 RescueDecision HeuristicRM::rescue(const RescueContext& context) {

@@ -7,6 +7,18 @@
 
 namespace rmwp {
 
+const char* to_string(RejectReason reason) noexcept {
+    switch (reason) {
+    case RejectReason::none: return "none";
+    case RejectReason::deadline_passed: return "deadline_passed";
+    case RejectReason::heuristic_exhausted: return "heuristic_exhausted";
+    case RejectReason::proved_infeasible: return "proved_infeasible";
+    case RejectReason::solver_infeasible: return "solver_infeasible";
+    case RejectReason::baseline_no_fit: return "baseline_no_fit";
+    }
+    return "unknown";
+}
+
 ScheduleItem make_schedule_item(const ActiveTask& task, const TaskType& type, ResourceId to,
                                 Time now, const PlatformHealth* health) {
     RMWP_EXPECT(type.executable_on(to));

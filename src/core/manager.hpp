@@ -64,12 +64,34 @@ struct TaskAssignment {
     ResourceId resource = 0;
 };
 
+/// Why a candidate was turned away (observability layer, DESIGN.md §10).
+/// The code distinguishes *proven* infeasibility from allowed heuristic
+/// incompleteness (Sec 5.2), so per-reason rejection counters explain a
+/// Fig. 2 cell instead of just sizing it.  Carried in reject TraceEvents
+/// (aux field) and the per-reason `reject.<reason>` counters.
+enum class RejectReason : std::uint8_t {
+    none = 0,            ///< admitted — no rejection happened
+    deadline_passed,     ///< deadline expired before the decision instant (simulator pre-check)
+    heuristic_exhausted, ///< Algorithm 1 found no placement (may be incomplete)
+    proved_infeasible,   ///< complete branch-and-bound proved no mapping exists
+    solver_infeasible,   ///< MILP relaxation/search reported infeasible or hit its budget
+    baseline_no_fit,     ///< greedy non-replanning placement found no slot
+};
+
+inline constexpr std::size_t kRejectReasonCount = 6;
+
+[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
+
 /// The RM's verdict for one activation.
 struct Decision {
     bool admitted = false;
     /// True when the accepted plan includes the predicted task as a
     /// constraint; false when the plan came from the no-prediction fallback.
     bool used_prediction = false;
+    /// Why the candidate was rejected (none when admitted).  Every RM sets
+    /// its own code so rejection counters separate proven infeasibility
+    /// from heuristic incompleteness.
+    RejectReason reason = RejectReason::none;
     /// New mapping for every real task in the window (active tasks always;
     /// the candidate too iff admitted).  Empty on rejection: the previous
     /// mapping stays in force.

@@ -334,11 +334,15 @@ Decision MilpRM::decide(const ArrivalContext& context) {
     // The Sec 4.2 formulation models a single predicted request; deeper
     // lookahead is only supported by the heuristic / branch-and-bound RMs.
     RMWP_EXPECT(context.predicted.size() <= 1);
-    return run_admission_ladder(
+    Decision decision = run_admission_ladder(
         context, [this](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
             if (auto result = optimize(instance, options_)) return std::move(result->mapping);
             return std::nullopt;
         });
+    // The in-repo branch-and-bound over the LP relaxation does not separate
+    // "proved infeasible" from "budget exhausted"; both report the solver.
+    if (!decision.admitted) decision.reason = RejectReason::solver_infeasible;
+    return decision;
 }
 
 } // namespace rmwp

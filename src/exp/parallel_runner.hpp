@@ -29,6 +29,10 @@ public:
     /// jobs value.
     [[nodiscard]] std::vector<RunOutcome> run_all(std::span<const RunSpec> specs) const;
 
+    /// Forwarded to the underlying ExperimentRunner: per-trace sinks and
+    /// artefact files for every grid point of subsequent run_all calls.
+    void set_obs(ObsOptions obs) { runner_.set_obs(std::move(obs)); }
+
     [[nodiscard]] const ExperimentRunner& runner() const noexcept { return runner_; }
     [[nodiscard]] std::size_t jobs() const noexcept { return runner_.jobs(); }
 

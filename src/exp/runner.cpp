@@ -1,8 +1,11 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
 #include "exec/task_pool.hpp"
+#include "obs/export.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -39,7 +42,13 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config, std::size_t jobs)
                               Rng(config_.seed).derive(kTraceStream))),
       predictor_root_(Rng(config_.seed).derive(kPredictorStream)),
       fault_root_(Rng(config_.seed).derive(kFaultStream)),
-      jobs_(jobs == 0 ? default_jobs() : jobs) {}
+      jobs_(jobs == 0 ? default_jobs() : jobs) {
+    // RMWP_OBS_METRICS=1 attaches a metrics-only sink to every trace cell
+    // (no event files), so benches export the §10 counters into their
+    // BENCH_<id>.json without any code change.  Simulated results are
+    // bit-identical either way; only TraceResult::obs_metrics fills in.
+    obs_.collect_metrics = env_flag("RMWP_OBS_METRICS");
+}
 
 RunOutcome ExperimentRunner::run(const RunSpec& spec) const {
     const std::unique_ptr<ResourceManager> rm = make_rm(spec.rm);
@@ -74,7 +83,42 @@ TraceResult ExperimentRunner::run_trace(std::size_t t, ResourceManager& rm,
                                          fault_rng);
         sim_options.fault_schedule = &faults;
     }
-    return simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options);
+    if (!obs_.enabled())
+        return simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options);
+
+    // One sink per trace cell: sinks are single-threaded by contract, and
+    // cells never share one, so the parallel fan-out stays lock-free.
+    obs::TraceSink sink(obs_.ring_capacity);
+    sim_options.sink = &sink;
+    TraceResult result = simulate_trace(platform_, catalog_, trace, rm, *instance, sim_options);
+    if (!obs_.trace_dir.empty()) export_artefacts(sink, t, rm, resolved);
+    return result;
+}
+
+void ExperimentRunner::export_artefacts(const obs::TraceSink& sink, std::size_t t,
+                                        const ResourceManager& rm,
+                                        const PredictorSpec& predictor) const {
+    const std::filesystem::path dir(obs_.trace_dir);
+    std::filesystem::create_directories(dir);
+
+    obs::ExportOptions options; // host time omitted: files are jobs-invariant
+    options.resource_names.reserve(platform_.size());
+    for (ResourceId i = 0; i < platform_.size(); ++i)
+        options.resource_names.push_back(platform_.resource(i).name());
+
+    const std::string stem =
+        obs::sanitize_label(rm.name() + "_" + predictor.label()) + "_t" + std::to_string(t);
+    const std::vector<obs::TraceEvent> events = sink.events();
+    if (obs_.chrome) {
+        std::ofstream out(dir / (stem + ".trace.json"));
+        RMWP_ENSURE(out.good());
+        obs::write_chrome_trace(out, events, options);
+    }
+    if (obs_.jsonl) {
+        std::ofstream out(dir / (stem + ".events.jsonl"));
+        RMWP_ENSURE(out.good());
+        obs::write_events_jsonl(out, events, options);
+    }
 }
 
 RunOutcome ExperimentRunner::run_with(ResourceManager& rm, const PredictorSpec& predictor) const {

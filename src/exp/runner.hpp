@@ -19,14 +19,37 @@
 // stateless beyond construction-time options).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "exp/config.hpp"
 #include "metrics/aggregate.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
 #include "util/env.hpp"
 
 namespace rmwp {
+
+/// Per-trace observability artefacts (DESIGN.md §10).  When enabled, every
+/// trace cell runs with its own TraceSink (one sink per run, so the
+/// parallel engine needs no locking) and optionally exports the event
+/// stream to `trace_dir`.  Exports omit host timestamps by default, so the
+/// artefact files are byte-identical for every jobs value.
+struct ObsOptions {
+    /// Directory receiving per-trace files; empty = no files written.
+    /// Created (recursively) on first use.
+    std::string trace_dir;
+    bool chrome = true; ///< write <stem>.trace.json (Chrome trace_event)
+    bool jsonl = false; ///< write <stem>.events.jsonl (flat, re-parseable)
+    std::size_t ring_capacity = obs::TraceSink::kDefaultCapacity;
+    /// Attach a sink (filling TraceResult::obs_metrics) even with no
+    /// trace_dir — metrics without event files.
+    bool collect_metrics = false;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return collect_metrics || !trace_dir.empty();
+    }
+};
 
 /// All per-trace results plus their aggregate for one RunSpec.
 struct RunOutcome {
@@ -61,6 +84,10 @@ public:
     [[nodiscard]] TraceResult run_trace(std::size_t t, ResourceManager& rm,
                                         const PredictorSpec& predictor) const;
 
+    /// Enable per-trace observability for subsequent run/run_with calls.
+    void set_obs(ObsOptions obs) { obs_ = std::move(obs); }
+    [[nodiscard]] const ObsOptions& obs() const noexcept { return obs_; }
+
     [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
     [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
     [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
@@ -68,6 +95,10 @@ public:
     [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
 private:
+    /// Write the per-trace Chrome/JSONL files for one finished cell.
+    void export_artefacts(const obs::TraceSink& sink, std::size_t t, const ResourceManager& rm,
+                          const PredictorSpec& predictor) const;
+
     ExperimentConfig config_;
     Platform platform_;
     Catalog catalog_;
@@ -75,6 +106,7 @@ private:
     Rng predictor_root_;
     Rng fault_root_;
     std::size_t jobs_ = 1;
+    ObsOptions obs_;
 };
 
 } // namespace rmwp

@@ -22,6 +22,10 @@
 
 namespace rmwp {
 
+/// The numeric order is part of the observability contract (DESIGN.md §10):
+/// fault_onset/fault_recovery TraceEvents carry static_cast<uint32_t>(kind)
+/// in their aux field and the Chrome exporter's span names index by it
+/// (src/obs/export.cpp) — append new kinds at the end only.
 enum class FaultKind {
     outage,    ///< resource offline during [start, end), then recovers
     permanent, ///< resource offline from `start` forever (end = +inf)

@@ -6,6 +6,8 @@ bool equivalent_ignoring_host_time(const TraceResult& a, const TraceResult& b) n
     // Exact comparisons throughout, doubles included: the parallel engine
     // promises bit-identical simulation state, not approximately-equal
     // state, so any drift here is a determinism bug worth failing on.
+    // obs_metrics is intentionally not compared: the observational layer
+    // carries host-scoped entries and has its own deterministic_equal.
     return a.requests == b.requests && a.accepted == b.accepted && a.rejected == b.rejected &&
            a.completed == b.completed && a.deadline_misses == b.deadline_misses &&
            a.aborted == b.aborted && a.fault_aborted == b.fault_aborted &&

@@ -4,6 +4,8 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
+
 namespace rmwp {
 
 struct TraceResult {
@@ -75,6 +77,14 @@ struct TraceResult {
     /// that accepts more work reports proportionally higher normalised
     /// energy, which is exactly the effect Fig 3 discusses.
     double reference_energy = 0.0;
+
+    /// Metrics recorded by the observability layer (DESIGN.md §10); empty
+    /// unless a TraceSink was attached to the run.  Deliberately outside
+    /// `equivalent_ignoring_host_time`: the snapshot mixes sim- and
+    /// host-scoped entries and has its own determinism predicate
+    /// (obs::deterministic_equal), and attaching a sink must never change
+    /// whether two runs compare equal.
+    obs::MetricsSnapshot obs_metrics;
 
     [[nodiscard]] double rejection_percent() const noexcept {
         return requests == 0 ? 0.0

@@ -1,0 +1,31 @@
+#include "obs/event.hpp"
+
+#include <cstring>
+
+namespace rmwp::obs {
+namespace {
+
+constexpr const char* kKindNames[kEventKindCount] = {
+    "arrival",      "admit",       "reject",      "exec",        "preempt",
+    "migrate",      "complete",    "abort",       "rescue_begin", "rescue_keep",
+    "rescue_abort", "fault_onset", "fault_recovery", "plan_rebuild",
+};
+
+} // namespace
+
+const char* to_string(EventKind kind) noexcept {
+    const auto index = static_cast<std::size_t>(kind);
+    return index < kEventKindCount ? kKindNames[index] : "unknown";
+}
+
+bool parse_event_kind(const char* name, EventKind& out) noexcept {
+    for (std::size_t i = 0; i < kEventKindCount; ++i) {
+        if (std::strcmp(name, kKindNames[i]) == 0) {
+            out = static_cast<EventKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace rmwp::obs

@@ -1,0 +1,52 @@
+// Event-stream exporters (DESIGN.md §10):
+//
+//  * JSONL — one JSON object per event per line; trivially greppable and
+//    re-parseable (read_events_jsonl round-trips it with line-numbered
+//    errors on corruption).  By default the host timestamp is omitted so
+//    the file's bytes are a pure function of simulated state — the
+//    per-trace artefacts the experiment engine writes are byte-identical
+//    for every --jobs value.
+//  * Chrome trace_event JSON — loadable in chrome://tracing or
+//    https://ui.perfetto.dev.  One lane (thread) per platform resource
+//    carrying the executed schedule slices, fault outage/throttle spans,
+//    and preemption markers, plus one "RM" lane carrying arrivals,
+//    admissions, rejections, rescues, and plan rebuilds as instant events.
+//    Timestamps are simulated milliseconds mapped to trace microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace rmwp::obs {
+
+struct ExportOptions {
+    /// Include the non-deterministic host timestamp in JSONL lines.
+    bool include_host_time = false;
+    /// Lane names for the Chrome export, indexed by resource id; resources
+    /// beyond the vector (or an empty vector) fall back to "R<i>".
+    std::vector<std::string> resource_names;
+};
+
+void write_events_jsonl(std::ostream& out, std::span<const TraceEvent> events,
+                        const ExportOptions& options = {});
+
+/// Parse a JSONL event stream as written by write_events_jsonl.  Any
+/// malformed line — truncated JSON, wrong types, unknown event kind —
+/// throws std::runtime_error naming the 1-based line number; garbage is
+/// never silently accepted.
+[[nodiscard]] std::vector<TraceEvent> read_events_jsonl(std::istream& in);
+
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events,
+                        const ExportOptions& options = {});
+
+/// Filesystem-safe mangling of a run label ("heuristic/on(oh=0.10)" →
+/// "heuristic_on_oh-0.10_"-style): everything outside [A-Za-z0-9._-]
+/// becomes '-'.  Shared by the CLI and the experiment engine so per-trace
+/// artefact names are predictable.
+[[nodiscard]] std::string sanitize_label(std::string_view label);
+
+} // namespace rmwp::obs

@@ -1,0 +1,85 @@
+// Minimal strict JSON parser for the observability layer: the exporters'
+// self-check ("parse back what you wrote"), the JSONL event reader, and
+// the fuzz-ish negative tests all go through it.  No external dependency;
+// errors are json_error exceptions carrying 1-based line:column positions
+// so a truncated or corrupted artefact points at the offending byte.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rmwp::obs {
+
+class json_error : public std::runtime_error {
+public:
+    json_error(std::string message, std::size_t line, std::size_t column)
+        : std::runtime_error("json error at " + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message),
+          line_(line),
+          column_(column) {}
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+    [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/// Parsed JSON value.  Numbers are kept as double (the artefacts only
+/// contain values a double round-trips); object member order is preserved.
+class JsonValue {
+public:
+    using Array = std::vector<JsonValue>;
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(Array a) : value_(std::move(a)) {}
+    JsonValue(Object o) : value_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const noexcept {
+        return std::holds_alternative<std::nullptr_t>(value_);
+    }
+    [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+    [[nodiscard]] bool is_number() const noexcept {
+        return std::holds_alternative<double>(value_);
+    }
+    [[nodiscard]] bool is_string() const noexcept {
+        return std::holds_alternative<std::string>(value_);
+    }
+    [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+    [[nodiscard]] bool is_object() const noexcept {
+        return std::holds_alternative<Object>(value_);
+    }
+
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+    [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+    [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+    [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+    [[nodiscard]] const Object& as_object() const { return std::get<Object>(value_); }
+
+    /// First member with the given key, or nullptr.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const {
+        for (const auto& [name, value] : as_object())
+            if (name == key) return &value;
+        return nullptr;
+    }
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_{nullptr};
+};
+
+/// Parse exactly one JSON document; trailing non-whitespace is an error.
+/// Throws json_error (with line:column) on any malformation.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+} // namespace rmwp::obs

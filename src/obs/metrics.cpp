@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rmwp::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    RMWP_EXPECT(!bounds_.empty());
+    RMWP_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double v) noexcept {
+    // Right-closed buckets: v lands in the first bucket whose upper bound
+    // is >= v; strictly above the last bound is overflow.
+    std::size_t bucket = bounds_.size();
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (v <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    ++counts_[bucket];
+    ++count_;
+    sum_ += v;
+}
+
+namespace {
+
+template <typename Entries>
+[[nodiscard]] auto* find_by_name(Entries& entries, std::string_view name) noexcept {
+    for (auto& entry : entries)
+        if (entry.name == name) return &entry;
+    return static_cast<decltype(&entries.front())>(nullptr);
+}
+
+} // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, MetricScope scope) {
+    if (auto* entry = find_by_name(counters_, name)) return *entry->instrument;
+    counters_.push_back({std::string(name), scope, std::make_unique<Counter>()});
+    return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, MetricScope scope) {
+    if (auto* entry = find_by_name(gauges_, name)) return *entry->instrument;
+    gauges_.push_back({std::string(name), scope, std::make_unique<Gauge>()});
+    return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
+                                      MetricScope scope) {
+    if (auto* entry = find_by_name(histograms_, name)) return *entry->instrument;
+    histograms_.push_back(
+        {std::string(name), scope, std::make_unique<Histogram>(std::move(bounds))});
+    return *histograms_.back().instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& entry : counters_)
+        snap.counters.push_back({entry.name, entry.scope, entry.instrument->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& entry : gauges_)
+        snap.gauges.push_back({entry.name, entry.scope, entry.instrument->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& entry : histograms_)
+        snap.histograms.push_back({entry.name, entry.scope, entry.instrument->bounds(),
+                                   entry.instrument->buckets(), entry.instrument->count(),
+                                   entry.instrument->sum()});
+    return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+    for (const CounterValue& theirs : other.counters) {
+        if (auto* mine = find_by_name(counters, theirs.name)) mine->value += theirs.value;
+        else counters.push_back(theirs);
+    }
+    for (const GaugeValue& theirs : other.gauges) {
+        if (auto* mine = find_by_name(gauges, theirs.name)) mine->value += theirs.value;
+        else gauges.push_back(theirs);
+    }
+    for (const HistogramValue& theirs : other.histograms) {
+        auto* mine = find_by_name(histograms, theirs.name);
+        if (mine == nullptr) {
+            histograms.push_back(theirs);
+            continue;
+        }
+        RMWP_EXPECT(mine->bounds == theirs.bounds);
+        for (std::size_t i = 0; i < mine->buckets.size(); ++i)
+            mine->buckets[i] += theirs.buckets[i];
+        mine->count += theirs.count;
+        mine->sum += theirs.sum;
+    }
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+    return find_by_name(counters, name);
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::find_gauge(
+    std::string_view name) const noexcept {
+    return find_by_name(gauges, name);
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+    return find_by_name(histograms, name);
+}
+
+bool deterministic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+    // Sim-scoped entries must match in order, name, and exact value: the
+    // registration sequence itself is part of the deterministic behaviour.
+    const auto sim_counters = [](const MetricsSnapshot& s) {
+        std::vector<const MetricsSnapshot::CounterValue*> out;
+        for (const auto& c : s.counters)
+            if (c.scope == MetricScope::sim) out.push_back(&c);
+        return out;
+    };
+    const auto ca = sim_counters(a);
+    const auto cb = sim_counters(b);
+    if (ca.size() != cb.size()) return false;
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        if (ca[i]->name != cb[i]->name || ca[i]->value != cb[i]->value) return false;
+
+    const auto sim_gauges = [](const MetricsSnapshot& s) {
+        std::vector<const MetricsSnapshot::GaugeValue*> out;
+        for (const auto& g : s.gauges)
+            if (g.scope == MetricScope::sim) out.push_back(&g);
+        return out;
+    };
+    const auto ga = sim_gauges(a);
+    const auto gb = sim_gauges(b);
+    if (ga.size() != gb.size()) return false;
+    for (std::size_t i = 0; i < ga.size(); ++i)
+        if (ga[i]->name != gb[i]->name || ga[i]->value != gb[i]->value) return false;
+
+    const auto sim_histograms = [](const MetricsSnapshot& s) {
+        std::vector<const MetricsSnapshot::HistogramValue*> out;
+        for (const auto& h : s.histograms)
+            if (h.scope == MetricScope::sim) out.push_back(&h);
+        return out;
+    };
+    const auto ha = sim_histograms(a);
+    const auto hb = sim_histograms(b);
+    if (ha.size() != hb.size()) return false;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+        if (ha[i]->name != hb[i]->name || ha[i]->bounds != hb[i]->bounds ||
+            ha[i]->buckets != hb[i]->buckets || ha[i]->count != hb[i]->count ||
+            ha[i]->sum != hb[i]->sum)
+            return false;
+    }
+    return true;
+}
+
+} // namespace rmwp::obs

@@ -1,0 +1,153 @@
+// Metrics registry (DESIGN.md §10): named counters, gauges, and
+// fixed-bucket histograms owned by one TraceSink (and therefore by one
+// simulation run — single-threaded by construction, no locks anywhere).
+//
+// Metrics come in two scopes.  `sim` metrics derive exclusively from
+// simulated state (rejection reasons, per-resource busy time, plan sizes)
+// and are bit-identical across jobs counts and tracing configurations;
+// `host` metrics measure the machine the run happens to execute on
+// (admission latency) and are excluded from every determinism comparison,
+// exactly like TraceResult's wall-clock fields.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmwp::obs {
+
+enum class MetricScope : std::uint8_t {
+    sim,  ///< derived from simulated state only — deterministic
+    host, ///< measures the host — excluded from determinism comparisons
+};
+
+/// Monotone event count.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Accumulating scalar (e.g. per-resource busy time).  Merging snapshots
+/// across traces sums gauges, so register only sum-mergeable quantities.
+class Gauge {
+public:
+    void add(double v) noexcept { value_ += v; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram.  Bucket i counts values v with
+/// bounds[i-1] < v <= bounds[i] (right-closed); one implicit overflow
+/// bucket counts v > bounds.back().  Bounds are fixed at registration so
+/// snapshots from different traces merge bucket-by-bucket.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void record(double v) noexcept;
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the overflow bucket.
+    [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return counts_; }
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/// Immutable copy of a registry's state, safe to move across threads and
+/// embed in TraceResult.  Entries keep registration order so artefacts
+/// diff cleanly between runs.
+struct MetricsSnapshot {
+    struct CounterValue {
+        std::string name;
+        MetricScope scope = MetricScope::sim;
+        std::uint64_t value = 0;
+    };
+    struct GaugeValue {
+        std::string name;
+        MetricScope scope = MetricScope::sim;
+        double value = 0.0;
+    };
+    struct HistogramValue {
+        std::string name;
+        MetricScope scope = MetricScope::sim;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /// Sum `other` into this snapshot, matching entries by name (counters
+    /// and gauges add; histograms require identical bounds and add
+    /// bucket-wise).  Entries missing on either side are kept/appended, so
+    /// merging per-trace snapshots yields the whole-experiment totals.
+    void merge(const MetricsSnapshot& other);
+
+    [[nodiscard]] const CounterValue* find_counter(std::string_view name) const noexcept;
+    [[nodiscard]] const GaugeValue* find_gauge(std::string_view name) const noexcept;
+    [[nodiscard]] const HistogramValue* find_histogram(std::string_view name) const noexcept;
+
+    [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept {
+        const CounterValue* c = find_counter(name);
+        return c == nullptr ? 0 : c->value;
+    }
+};
+
+/// True when every `sim`-scoped metric matches exactly (names, order, and
+/// values); `host`-scoped entries are ignored.  The metrics arm of the §9
+/// determinism contract.
+[[nodiscard]] bool deterministic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b);
+
+/// Name-addressed registry.  Lookup is a linear probe over registration
+/// order (registries hold tens of metrics; hot-path call sites cache the
+/// returned references instead of re-looking-up).
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Find-or-create.  Re-registering an existing name returns the
+    /// original instrument; a histogram re-registered with different
+    /// bounds keeps the bounds it was first created with.
+    [[nodiscard]] Counter& counter(std::string_view name, MetricScope scope = MetricScope::sim);
+    [[nodiscard]] Gauge& gauge(std::string_view name, MetricScope scope = MetricScope::sim);
+    [[nodiscard]] Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                                       MetricScope scope = MetricScope::sim);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+private:
+    template <typename T>
+    struct Entry {
+        std::string name;
+        MetricScope scope;
+        std::unique_ptr<T> instrument;
+    };
+
+    std::vector<Entry<Counter>> counters_;
+    std::vector<Entry<Gauge>> gauges_;
+    std::vector<Entry<Histogram>> histograms_;
+};
+
+} // namespace rmwp::obs

@@ -1,0 +1,36 @@
+#include "obs/trace_sink.hpp"
+
+#include "util/check.hpp"
+
+namespace rmwp::obs {
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+    RMWP_EXPECT(capacity_ > 0);
+    ring_.resize(capacity_);
+}
+
+void TraceSink::emit(double t_sim, EventKind kind, std::uint64_t task, std::int64_t resource,
+                     double detail, std::uint32_t aux) noexcept {
+    TraceEvent& slot = ring_[emitted_ % capacity_];
+    slot.t_sim = t_sim;
+    slot.t_host =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    slot.task = task;
+    slot.resource = resource;
+    slot.detail = detail;
+    slot.aux = aux;
+    slot.kind = kind;
+    ++emitted_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+    std::vector<TraceEvent> out;
+    const std::uint64_t retained = emitted_ < capacity_ ? emitted_ : capacity_;
+    out.reserve(retained);
+    const std::uint64_t first = emitted_ - retained;
+    for (std::uint64_t k = 0; k < retained; ++k)
+        out.push_back(ring_[(first + k) % capacity_]);
+    return out;
+}
+
+} // namespace rmwp::obs

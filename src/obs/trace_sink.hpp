@@ -1,0 +1,82 @@
+// TraceSink — the per-run event recorder (DESIGN.md §10).
+//
+// One sink belongs to exactly one simulation run, and a run executes on
+// exactly one thread, so recording is lock-free by construction: emit() is
+// a bounds-free store into a pre-sized ring plus one host-clock read.  The
+// parallel experiment engine creates one sink per trace cell; sinks are
+// never shared across threads (the same per-thread discipline as
+// PlanScratch::local()).
+//
+// The ring keeps the most recent `capacity` events; older events are
+// overwritten and counted in dropped().  Overwriting (rather than
+// stopping) keeps emit() O(1) and branch-predictable on the admission hot
+// path, and the tail of a run — completions, rescues, final rebuilds — is
+// exactly what post-mortem debugging needs.
+//
+// Recording hooks compile to nothing when the build disables the
+// observability layer (-DRMWP_OBS=OFF): RMWP_TRACE expands to a no-op and
+// no tracer symbol is referenced from the simulator.  When compiled in but
+// no sink is attached (the default), each hook costs one null-pointer
+// branch.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+
+namespace rmwp::obs {
+
+class TraceSink {
+public:
+    static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+    explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+
+    TraceSink(const TraceSink&) = delete;
+    TraceSink& operator=(const TraceSink&) = delete;
+
+    /// Record one event.  `t_host` is stamped here (host seconds since the
+    /// sink was created); every other field is caller-provided simulated
+    /// state, so the deterministic payload never depends on the host.
+    void emit(double t_sim, EventKind kind, std::uint64_t task = kNoTask,
+              std::int64_t resource = kNoResource, double detail = 0.0,
+              std::uint32_t aux = 0) noexcept;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    /// Events ever emitted (including overwritten ones).
+    [[nodiscard]] std::uint64_t total_emitted() const noexcept { return emitted_; }
+    /// Events lost to ring wraparound.
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        return emitted_ > capacity_ ? emitted_ - capacity_ : 0;
+    }
+
+    /// The retained events, oldest first.
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+private:
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_;
+    std::uint64_t emitted_ = 0;
+    std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+    MetricsRegistry metrics_;
+};
+
+} // namespace rmwp::obs
+
+/// Record an event through a nullable sink pointer.  Compiled out entirely
+/// (arguments unevaluated) when the observability layer is disabled.
+#ifdef RMWP_OBS
+#define RMWP_TRACE(sink, ...)                          \
+    do {                                               \
+        if ((sink) != nullptr) (sink)->emit(__VA_ARGS__); \
+    } while (false)
+#else
+#define RMWP_TRACE(sink, ...) \
+    do {                      \
+    } while (false)
+#endif

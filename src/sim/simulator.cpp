@@ -1,10 +1,13 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "obs/trace_sink.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -24,6 +27,30 @@ constexpr std::uint32_t kActivationEvent = 2;
 constexpr std::uint32_t kFaultOnsetEvent = 3;
 constexpr std::uint32_t kFaultRecoveryEvent = 4;
 
+#ifdef RMWP_OBS
+/// Cached instrument handles (DESIGN.md §10).  Registered once per run, in
+/// a fixed order, so hot-path sites update through pointers instead of
+/// name lookups and the snapshot layout never depends on which events the
+/// run happens to hit.
+struct Instruments {
+    obs::Counter* admit = nullptr;
+    std::array<obs::Counter*, kRejectReasonCount> reject{};
+    obs::Counter* preempt = nullptr;
+    obs::Counter* migrate = nullptr;
+    obs::Counter* complete = nullptr;
+    obs::Counter* abort_overhead = nullptr;
+    obs::Counter* plan_rebuild = nullptr;
+    obs::Counter* rescue_activation = nullptr;
+    obs::Counter* rescue_keep = nullptr;
+    obs::Counter* rescue_abort = nullptr;
+    obs::Counter* fault_onset = nullptr;
+    obs::Counter* fault_recovery = nullptr;
+    std::vector<obs::Gauge*> busy_time; ///< indexed by ResourceId
+    obs::Histogram* plan_size = nullptr;
+    obs::Histogram* admission_latency_us = nullptr;
+};
+#endif
+
 class Simulation {
 public:
     Simulation(const Platform& platform, const Catalog& catalog, const Trace& trace,
@@ -39,6 +66,9 @@ public:
           execution_rng_(options.execution_seed) {}
 
     TraceResult run() {
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) init_obs();
+#endif
         result_.requests = trace_.size();
         for (const Request& request : trace_)
             result_.reference_energy += catalog_.type(request.type).mean_energy();
@@ -58,6 +88,10 @@ public:
         while (!events_.empty()) {
             const Event event = events_.pop();
             if (event.kind == kArrivalEvent) {
+                RMWP_TRACE(options_.sink, event.time, obs::EventKind::arrival, event.payload,
+                           obs::kNoResource,
+                           trace_.request(static_cast<std::size_t>(event.payload))
+                               .absolute_deadline());
                 if (options_.activation_period > 0.0) {
                     enqueue_for_batch(static_cast<std::size_t>(event.payload));
                 } else {
@@ -89,6 +123,9 @@ public:
         }
         advance(std::numeric_limits<Time>::infinity());
         RMWP_ENSURE(active_.empty());
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) result_.obs_metrics = options_.sink->metrics().snapshot();
+#endif
         return result_;
     }
 
@@ -145,6 +182,15 @@ private:
                 task->started = true;
                 if (non_preemptable) task->pinned = true;
 
+                // One exec slice per executed span; repeated advances over
+                // one segment yield adjacent slices, never overlaps, so the
+                // per-resource busy time is the plain sum of slice durations.
+                RMWP_TRACE(options_.sink, begin, obs::EventKind::exec, segment.uid,
+                           static_cast<std::int64_t>(i), duration);
+#ifdef RMWP_OBS
+                if (options_.sink != nullptr) ins_.busy_time[i]->add(duration);
+#endif
+
                 const double overhead = std::min(task->pending_overhead, duration);
                 task->pending_overhead -= overhead;
                 const double progress_time = duration - overhead;
@@ -175,10 +221,24 @@ private:
                 if (completed_at >= 0.0) {
                     task->remaining_fraction = 0.0;
                     ++result_.completed;
+                    RMWP_TRACE(options_.sink, completed_at, obs::EventKind::complete,
+                               segment.uid, static_cast<std::int64_t>(i));
+#ifdef RMWP_OBS
+                    if (options_.sink != nullptr) ins_.complete->add();
+#endif
                     if (completed_at > task->absolute_deadline + kTimeEps) {
                         ++result_.deadline_misses;
                         if (options_.validate) RMWP_ENSURE(false); // firm guarantee violated
                     }
+                } else if (executed_until >= segment.end &&
+                           task->remaining_fraction > kFractionEps) {
+                    // The planned slice closed with work left: the task is
+                    // preempted here and resumes in a later slice.
+                    RMWP_TRACE(options_.sink, segment.end, obs::EventKind::preempt, segment.uid,
+                               static_cast<std::int64_t>(i));
+#ifdef RMWP_OBS
+                    if (options_.sink != nullptr) ins_.preempt->add();
+#endif
                 }
             }
         }
@@ -230,6 +290,13 @@ private:
         // activation boundary cannot be served.
         if (candidate.absolute_deadline <= decision_time + kTimeEps) {
             ++result_.rejected;
+            RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
+                       obs::kNoResource, 0.0,
+                       static_cast<std::uint32_t>(RejectReason::deadline_passed));
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr)
+                ins_.reject[static_cast<std::size_t>(RejectReason::deadline_passed)]->add();
+#endif
             return;
         }
 
@@ -248,6 +315,16 @@ private:
         const Decision decision = rm_.decide(context);
         const auto finished = std::chrono::steady_clock::now();
         result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
+
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) {
+            // host scope: measures this machine, excluded from determinism.
+            ins_.admission_latency_us->record(
+                std::chrono::duration<double, std::micro>(finished - started).count());
+            // sim scope: the size of the instance the RM planned over.
+            ins_.plan_size->record(static_cast<double>(context.active.size() + 1));
+        }
+#endif
 
 #ifdef RMWP_AUDIT
         if (options_.audit) {
@@ -268,9 +345,26 @@ private:
         if (decision.admitted) {
             ++result_.accepted;
             if (decision.used_prediction) ++result_.plans_with_prediction;
-            apply(decision, candidate);
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) {
+                std::int64_t mapped = obs::kNoResource;
+                for (const TaskAssignment& assignment : decision.assignments)
+                    if (assignment.uid == candidate.uid)
+                        mapped = static_cast<std::int64_t>(assignment.resource);
+                options_.sink->emit(decision_time, obs::EventKind::admit, candidate.uid, mapped,
+                                    0.0, decision.used_prediction ? 1u : 0u);
+                ins_.admit->add();
+            }
+#endif
+            apply(decision, candidate, decision_time);
         } else {
             ++result_.rejected;
+            RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
+                       obs::kNoResource, 0.0, static_cast<std::uint32_t>(decision.reason));
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr)
+                ins_.reject[static_cast<std::size_t>(decision.reason)]->add();
+#endif
         }
     }
 
@@ -315,8 +409,20 @@ private:
         if (onset) {
             if (fault.takes_offline()) ++result_.resource_outages;
             else ++result_.throttle_events;
+            RMWP_TRACE(options_.sink, now, obs::EventKind::fault_onset, obs::kNoTask,
+                       static_cast<std::int64_t>(fault.resource), fault.factor,
+                       static_cast<std::uint32_t>(fault.kind));
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) ins_.fault_onset->add();
+#endif
             rescue_activation(now);
         } else {
+            RMWP_TRACE(options_.sink, now, obs::EventKind::fault_recovery, obs::kNoTask,
+                       static_cast<std::int64_t>(fault.resource), 1.0,
+                       static_cast<std::uint32_t>(fault.kind));
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) ins_.fault_recovery->add();
+#endif
             // Capacity restored (or a throttle relaxed): the current set is
             // still feasible, so only the schedule needs refreshing.
             rebuild(now);
@@ -327,6 +433,11 @@ private:
     /// the RM re-plan the surviving set on the healthy capacity.
     void rescue_activation(Time now) {
         ++result_.rescue_activations;
+        RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_begin, obs::kNoTask,
+                   obs::kNoResource, static_cast<double>(active_.size()));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.rescue_activation->add();
+#endif
 
         // Interrupt displaced tasks (their resource went offline).  On a
         // preemptable resource the saved context survives the fault and the
@@ -372,6 +483,10 @@ private:
             std::erase_if(active_, [uid](const ActiveTask& task) { return task.uid == uid; });
             RMWP_ENSURE(active_.size() + 1 == before);
             ++result_.fault_aborted;
+            RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_abort, uid);
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) ins_.rescue_abort->add();
+#endif
         }
 
         const auto was_displaced = [&](TaskUid uid) {
@@ -396,17 +511,30 @@ private:
                         result_.migration_energy += energy;
                         ++result_.migrations;
                         ++result_.rescue_migrations;
+                        RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
+                                   static_cast<std::int64_t>(task->resource), energy,
+                                   static_cast<std::uint32_t>(assignment.resource));
+#ifdef RMWP_OBS
+                        if (options_.sink != nullptr) ins_.migrate->add();
+#endif
                     }
                 }
                 task->resource = assignment.resource;
             }
             if (was_displaced(assignment.uid)) ++result_.rescued;
+            RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_keep, assignment.uid,
+                       static_cast<std::int64_t>(assignment.resource), 0.0,
+                       was_displaced(assignment.uid) ? 1u : 0u);
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) ins_.rescue_keep->add();
+#endif
         }
 
         rebuild(now);
     }
 
-    void apply(const Decision& decision, const ActiveTask& candidate) {
+    void apply(const Decision& decision, const ActiveTask& candidate,
+               [[maybe_unused]] Time now) {
         for (const TaskAssignment& assignment : decision.assignments) {
             if (assignment.uid == candidate.uid) {
                 ActiveTask admitted = candidate;
@@ -438,6 +566,12 @@ private:
                     charge_energy(energy);
                     result_.migration_energy += energy;
                     ++result_.migrations;
+                    RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
+                               static_cast<std::int64_t>(task->resource), energy,
+                               static_cast<std::uint32_t>(assignment.resource));
+#ifdef RMWP_OBS
+                    if (options_.sink != nullptr) ins_.migrate->add();
+#endif
                 }
             }
             task->resource = assignment.resource;
@@ -470,10 +604,13 @@ private:
             const WindowSchedule schedule = plan_current(now, &items);
             if (schedule.feasible) return;
             const std::size_t before = active_.size();
+            std::vector<TaskUid> doomed;
             std::erase_if(active_, [&](const ActiveTask& task) {
                 const auto completion = schedule.completion_of(task.uid);
-                return completion.has_value() &&
-                       *completion > task.absolute_deadline + kTimeEps;
+                const bool late = completion.has_value() &&
+                                  *completion > task.absolute_deadline + kTimeEps;
+                if (late) doomed.push_back(task.uid);
+                return late;
             });
             if (active_.size() == before) {
                 // No adaptive task misses its own deadline, so the
@@ -488,12 +625,21 @@ private:
                     std::erase_if(active_, [&](const ActiveTask& task) {
                         if (removed || task.resource != item.resource) return false;
                         removed = true;
+                        doomed.push_back(task.uid);
                         return true;
                     });
                 }
                 RMWP_ENSURE(active_.size() < before);
             }
             result_.aborted += before - active_.size();
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) {
+                for (const TaskUid uid : doomed) {
+                    options_.sink->emit(now, obs::EventKind::abort_overhead, uid);
+                    ins_.abort_overhead->add();
+                }
+            }
+#endif
         }
     }
 
@@ -521,6 +667,11 @@ private:
     /// Rebuild the execution schedule (real tasks on their current
     /// resources) and refresh completion events under a new generation.
     void rebuild(Time now) {
+        RMWP_TRACE(options_.sink, now, obs::EventKind::plan_rebuild, obs::kNoTask,
+                   obs::kNoResource, static_cast<double>(active_.size()));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.plan_rebuild->add();
+#endif
 #ifdef RMWP_AUDIT
         schedule_ = plan_current(now, &audited_items_);
         audited_now_ = now;
@@ -561,6 +712,36 @@ private:
     }
 #endif
 
+#ifdef RMWP_OBS
+    /// Register every instrument up front in a fixed order so the snapshot
+    /// layout is identical across runs regardless of which events occur.
+    /// Only called when a sink is attached.
+    void init_obs() {
+        obs::MetricsRegistry& m = options_.sink->metrics();
+        ins_.admit = &m.counter("admit");
+        for (std::size_t r = 0; r < kRejectReasonCount; ++r)
+            ins_.reject[r] =
+                &m.counter(std::string("reject.") + to_string(static_cast<RejectReason>(r)));
+        ins_.preempt = &m.counter("preempt");
+        ins_.migrate = &m.counter("migrate");
+        ins_.complete = &m.counter("complete");
+        ins_.abort_overhead = &m.counter("abort_overhead");
+        ins_.plan_rebuild = &m.counter("plan_rebuild");
+        ins_.rescue_activation = &m.counter("rescue.activation");
+        ins_.rescue_keep = &m.counter("rescue.keep");
+        ins_.rescue_abort = &m.counter("rescue.abort");
+        ins_.fault_onset = &m.counter("fault.onset");
+        ins_.fault_recovery = &m.counter("fault.recovery");
+        ins_.busy_time.resize(platform_.size());
+        for (ResourceId i = 0; i < platform_.size(); ++i)
+            ins_.busy_time[i] = &m.gauge("busy_time." + std::to_string(i));
+        ins_.plan_size = &m.histogram("plan_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+        ins_.admission_latency_us =
+            &m.histogram("admission_latency_us",
+                         {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}, obs::MetricScope::host);
+    }
+#endif
+
     const Platform& platform_;
     const Catalog& catalog_;
     const Trace& trace_;
@@ -583,6 +764,10 @@ private:
     /// Periodic-activation state.
     std::vector<std::size_t> pending_;
     Time last_activation_scheduled_ = -1.0;
+
+#ifdef RMWP_OBS
+    Instruments ins_;
+#endif
 
 #ifdef RMWP_AUDIT
     ScheduleAuditor auditor_;

@@ -27,6 +27,10 @@
 #include "workload/catalog.hpp"
 #include "workload/trace.hpp"
 
+namespace rmwp::obs {
+class TraceSink;
+} // namespace rmwp::obs
+
 namespace rmwp {
 
 struct SimOptions {
@@ -88,6 +92,15 @@ struct SimOptions {
     /// delay consumes deadline slack, but any per-activation prediction
     /// overhead (Fig 5) is paid once per batch instead of once per request.
     Time activation_period = 0.0;
+    /// Observability sink (DESIGN.md §10).  When non-null (and the build
+    /// has RMWP_OBS, the default) the run records structured events —
+    /// arrivals, admissions/rejections with reason codes, executed slices,
+    /// preemptions, migrations, fault and rescue steps, plan rebuilds —
+    /// plus a metrics snapshot into TraceResult::obs_metrics.  Attaching a
+    /// sink never changes the simulated outcome: every other TraceResult
+    /// field is bit-identical with and without it.  The sink must outlive
+    /// the run and is single-threaded (one sink per run).
+    obs::TraceSink* sink = nullptr;
 };
 
 /// Run one trace against one RM + predictor.  The predictor is stateful and

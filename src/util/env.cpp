@@ -25,4 +25,13 @@ std::size_t env_size(const char* name, std::size_t fallback) {
     return static_cast<std::size_t>(value);
 }
 
+bool env_flag(const char* name) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return false;
+    const std::string value(raw);
+    if (value == "0") return false;
+    if (value == "1") return true;
+    throw std::runtime_error(std::string(name) + " must be 0 or 1, got \"" + raw + "\"");
+}
+
 } // namespace rmwp

@@ -14,4 +14,9 @@ namespace rmwp {
 /// default-sized experiment.
 [[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
 
+/// Read a boolean knob (RMWP_OBS_METRICS, ...): unset, empty, or "0" is
+/// false, "1" is true, and anything else throws std::runtime_error — the
+/// same fail-loudly contract as env_size.
+[[nodiscard]] bool env_flag(const char* name);
+
 } // namespace rmwp

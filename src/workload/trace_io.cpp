@@ -141,9 +141,19 @@ void write_catalog_csv(std::ostream& os, const Catalog& catalog) {
 }
 
 Catalog read_catalog_csv(std::istream& is) {
+    // Malformed external input is a user error, not a programming error:
+    // every check reports a descriptive std::runtime_error naming the
+    // offending 1-based line (same contract as read_trace_csv).
+    const auto fail = [](std::size_t line_number, const std::string& what,
+                         const std::string& line) {
+        throw std::runtime_error("catalog CSV line " + std::to_string(line_number) + ": " + what +
+                                 " (line: \"" + line + "\")");
+    };
+
     std::string line;
-    RMWP_EXPECT(static_cast<bool>(std::getline(is, line)));
-    RMWP_EXPECT(line == "type,resource,wcet,energy");
+    if (!std::getline(is, line) || line != "type,resource,wcet,energy")
+        throw std::runtime_error(
+            "catalog CSV: missing or wrong header (expected \"type,resource,wcet,energy\")");
 
     struct TypeData {
         std::map<std::size_t, std::pair<double, double>> cost; // resource -> (wcet, energy)
@@ -153,34 +163,46 @@ Catalog read_catalog_csv(std::istream& is) {
 
     bool in_migration = false;
     std::size_t resource_count = 0;
+    std::size_t line_number = 1;
     while (std::getline(is, line)) {
+        ++line_number;
         if (line.empty()) continue;
         if (line == "#migration") {
             in_migration = true;
             continue;
         }
         const auto fields = split_csv_line(line);
-        if (!in_migration) {
-            RMWP_EXPECT(fields.size() == 4);
-            const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
-            const auto resource = static_cast<std::size_t>(std::stoull(fields[1]));
-            data[type].cost[resource] = {parse_value(fields[2]), parse_value(fields[3])};
-            resource_count = std::max(resource_count, resource + 1);
-        } else {
-            RMWP_EXPECT(fields.size() == 5);
-            const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
-            const auto from = static_cast<std::size_t>(std::stoull(fields[1]));
-            const auto to = static_cast<std::size_t>(std::stoull(fields[2]));
-            data[type].migration[{from, to}] = {parse_value(fields[3]), parse_value(fields[4])};
+        try {
+            if (!in_migration) {
+                if (fields.size() != 4) fail(line_number, "expected 4 fields", line);
+                const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
+                const auto resource = static_cast<std::size_t>(std::stoull(fields[1]));
+                data[type].cost[resource] = {parse_value(fields[2]), parse_value(fields[3])};
+                resource_count = std::max(resource_count, resource + 1);
+            } else {
+                if (fields.size() != 5) fail(line_number, "expected 5 fields", line);
+                const auto type = static_cast<std::size_t>(std::stoull(fields[0]));
+                const auto from = static_cast<std::size_t>(std::stoull(fields[1]));
+                const auto to = static_cast<std::size_t>(std::stoull(fields[2]));
+                data[type].migration[{from, to}] = {parse_value(fields[3]),
+                                                    parse_value(fields[4])};
+            }
+        } catch (const std::runtime_error&) {
+            throw;
+        } catch (const std::exception&) {
+            fail(line_number, "unparseable field", line);
         }
     }
-    RMWP_EXPECT(!data.empty());
+    if (data.empty()) throw std::runtime_error("catalog CSV: no task types");
 
     std::vector<TaskType> types;
     types.reserve(data.size());
     std::size_t expected_id = 0;
     for (const auto& [type_id, record] : data) {
-        RMWP_EXPECT(type_id == expected_id++);
+        if (type_id != expected_id++)
+            throw std::runtime_error("catalog CSV: task type ids must be contiguous from 0 "
+                                     "(missing type " +
+                                     std::to_string(expected_id - 1) + ")");
         std::vector<double> wcet(resource_count, kNotExecutable);
         std::vector<double> energy(resource_count, kNotExecutable);
         for (const auto& [resource, cost] : record.cost) {

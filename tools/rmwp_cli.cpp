@@ -24,6 +24,18 @@
 //                             [--fault-throttle-factor 2] (WCET multiplier)
 //                             [--fault-min-online 1]
 //                             [--fault-seed <seed>]       (defaults to --seed)
+//                             [--reserve r:period:offset:duration[:energy][;...]]
+//                                                      (design-time critical
+//                                                       reservations on
+//                                                       resource r; reserved
+//                                                       windows preempt
+//                                                       adaptive tasks)
+//                             [--trace-out out.json]  (Chrome trace_event JSON;
+//                                                      open in chrome://tracing
+//                                                      or ui.perfetto.dev)
+//                             [--events-out out.jsonl] (flat JSONL event log)
+//                             [--stats 1]              (print the observability
+//                                                       metrics after the run)
 //
 //   rmwp_cli analyze          --trace trace.csv [--catalog catalog.csv]
 //
@@ -35,6 +47,11 @@
 //                                           the hardware concurrency.
 //                                           Results are bit-identical for
 //                                           every value — see DESIGN.md §9)
+//                             [--trace-dir DIR] (per-trace Chrome traces; the
+//                                                file bytes are identical for
+//                                                every --jobs value)
+//                             [--stats 1]       (print merged observability
+//                                                counters per RM)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
@@ -45,9 +62,16 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/baseline_rm.hpp"
+#include <sstream>
+
+#include "core/reservation.hpp"
 #include "exp/parallel_runner.hpp"
 #include "fault/fault.hpp"
+#include "obs/export.hpp"
+#include "obs/trace_sink.hpp"
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
 #include "core/milp_rm.hpp"
@@ -156,6 +180,73 @@ int cmd_generate_trace(Args& args) {
     return 0;
 }
 
+/// Fail fast when observability output is requested from a build compiled
+/// with -DRMWP_OBS=OFF: the simulator would record nothing and the files
+/// would be silently empty.
+void require_obs_build() {
+#ifndef RMWP_OBS
+    throw std::runtime_error(
+        "this binary was built with -DRMWP_OBS=OFF; rebuild with RMWP_OBS=ON to use "
+        "--trace-out/--events-out/--stats/--trace-dir");
+#endif
+}
+
+void print_obs_metrics(const obs::MetricsSnapshot& snapshot) {
+    Table table({"metric", "value"});
+    for (const auto& counter : snapshot.counters)
+        if (counter.value > 0) table.row().cell(counter.name).cell(counter.value);
+    for (const auto& gauge : snapshot.gauges)
+        if (gauge.value != 0.0) table.row().cell(gauge.name).cell(gauge.value, 1);
+    for (const auto& histogram : snapshot.histograms) {
+        if (histogram.count == 0) continue;
+        table.row().cell(histogram.name).cell(
+            std::to_string(histogram.count) + " samples, mean " +
+            format_fixed(histogram.sum / static_cast<double>(histogram.count), 3));
+    }
+    table.print(std::cout);
+}
+
+/// Parse --reserve "resource:period:offset:duration[:energy]" entries
+/// (semicolon-separated) into the design-time critical reservations of
+/// Sec 2.  Reserved windows run with absolute priority, so they are also
+/// the way to make planned preemptions visible in --trace-out artefacts.
+ReservationTable parse_reservations(const std::optional<std::string>& spec,
+                                    const Platform& platform) {
+    if (!spec) return {};
+    std::vector<CriticalTask> tasks;
+    std::istringstream list(*spec);
+    std::string entry;
+    while (std::getline(list, entry, ';')) {
+        if (entry.empty()) continue;
+        std::vector<std::string> parts;
+        std::istringstream fields(entry);
+        std::string field;
+        while (std::getline(fields, field, ':')) parts.push_back(field);
+        if (parts.size() < 4 || parts.size() > 5)
+            throw std::runtime_error(
+                "--reserve entries must be resource:period:offset:duration[:energy], got \"" +
+                entry + "\"");
+        CriticalTask task;
+        task.name = "critical" + std::to_string(tasks.size());
+        try {
+            task.resource = static_cast<ResourceId>(std::stoull(parts[0]));
+            task.period = std::stod(parts[1]);
+            task.offset = std::stod(parts[2]);
+            task.duration = std::stod(parts[3]);
+            if (parts.size() == 5) task.energy_per_instance = std::stod(parts[4]);
+        } catch (const std::exception&) {
+            throw std::runtime_error("--reserve entry has an unparseable field: \"" + entry +
+                                     "\"");
+        }
+        if (task.resource >= platform.size())
+            throw std::runtime_error("--reserve resource " + std::to_string(task.resource) +
+                                     " does not exist (platform has " +
+                                     std::to_string(platform.size()) + " resources)");
+        tasks.push_back(std::move(task));
+    }
+    return ReservationTable(std::move(tasks));
+}
+
 int cmd_run(Args& args) {
     const std::string catalog_path = args.require("catalog");
     const std::string trace_path = args.require("trace");
@@ -196,6 +287,11 @@ int cmd_run(Args& args) {
     }
     fault.min_online = static_cast<std::size_t>(args.integer("fault-min-online", 1));
     const std::uint64_t fault_seed = args.integer("fault-seed", seed);
+
+    const ReservationTable reservations = parse_reservations(args.get("reserve"), platform);
+    const std::optional<std::string> trace_out = args.get("trace-out");
+    const std::optional<std::string> events_out = args.get("events-out");
+    const bool stats = args.integer("stats", 0) != 0;
     args.reject_unknown();
 
     if (fault.outage_rate < 0.0 || fault.permanent_prob < 0.0 || fault.throttle_rate < 0.0 ||
@@ -228,8 +324,17 @@ int cmd_run(Args& args) {
         faults = generate_fault_schedule(platform, fault, horizon, fault_rng);
         options.fault_schedule = &faults;
     }
+
+    obs::TraceSink sink;
+    if (trace_out || events_out || stats) {
+        require_obs_build();
+        options.sink = &sink;
+    }
+
     const TraceResult result =
-        simulate_trace(platform, catalog, trace, *rm, *predictor, options);
+        reservations.empty()
+            ? simulate_trace(platform, catalog, trace, *rm, *predictor, options)
+            : simulate_trace(platform, catalog, trace, *rm, *predictor, reservations, options);
 
     Table table({"metric", "value"});
     table.row().cell("requests").cell(result.requests);
@@ -246,6 +351,8 @@ int cmd_run(Args& args) {
             ? 1000.0 * result.decision_seconds / static_cast<double>(result.activations)
             : 0.0,
         4);
+    if (!reservations.empty())
+        table.row().cell("critical energy (J)").cell(result.critical_energy, 1);
     if (fault.any() || !faults.empty()) {
         table.row().cell("fault events injected").cell(faults.size());
         table.row().cell("resource outages").cell(result.resource_outages);
@@ -262,6 +369,29 @@ int cmd_run(Args& args) {
             4);
     }
     table.print(std::cout);
+
+    if (trace_out || events_out) {
+        obs::ExportOptions export_options;
+        export_options.resource_names.reserve(platform.size());
+        for (ResourceId i = 0; i < platform.size(); ++i)
+            export_options.resource_names.push_back(platform.resource(i).name());
+        const std::vector<obs::TraceEvent> events = sink.events();
+        if (trace_out) {
+            std::ofstream out(*trace_out);
+            if (!out) throw std::runtime_error("cannot open " + *trace_out);
+            obs::write_chrome_trace(out, events, export_options);
+            std::cout << "wrote Chrome trace (" << events.size() << " events, "
+                      << sink.dropped() << " dropped) to " << *trace_out << '\n';
+        }
+        if (events_out) {
+            std::ofstream out(*events_out);
+            if (!out) throw std::runtime_error("cannot open " + *events_out);
+            obs::write_events_jsonl(out, events, export_options);
+            std::cout << "wrote " << events.size() << " JSONL events to " << *events_out
+                      << '\n';
+        }
+    }
+    if (stats) print_obs_metrics(result.obs_metrics);
     return 0;
 }
 
@@ -294,13 +424,23 @@ int cmd_experiment(Args& args) {
     else if (predictor_name == "noisy") spec.kind = PredictorSpec::Kind::noisy;
     else if (predictor_name == "online") spec.kind = PredictorSpec::Kind::online;
     else throw std::runtime_error("--predictor must be off, oracle, noisy, or online");
+
+    const std::optional<std::string> trace_dir = args.get("trace-dir");
+    const bool stats = args.integer("stats", 0) != 0;
     args.reject_unknown();
 
     std::vector<RunSpec> specs;
     specs.reserve(rms.size());
     for (const RmKind rm : rms) specs.push_back(RunSpec{rm, spec});
 
-    const ParallelRunner runner(config, jobs);
+    ParallelRunner runner(config, jobs);
+    if (trace_dir || stats) {
+        require_obs_build();
+        ObsOptions obs;
+        if (trace_dir) obs.trace_dir = *trace_dir;
+        obs.collect_metrics = stats;
+        runner.set_obs(std::move(obs));
+    }
     std::cout << "experiment: " << to_string(group) << " group, " << config.trace_count
               << " traces x " << config.trace.length << " requests, seed " << config.seed
               << ", jobs " << runner.jobs() << '\n';
@@ -319,6 +459,17 @@ int cmd_experiment(Args& args) {
             .cell(outcome.aggregate.decision_milliseconds_per_activation.mean(), 4);
     }
     table.print(std::cout);
+
+    if (trace_dir)
+        std::cout << "per-trace Chrome traces written to " << *trace_dir << '\n';
+    if (stats) {
+        for (const RunOutcome& outcome : outcomes) {
+            obs::MetricsSnapshot merged;
+            for (const TraceResult& result : outcome.per_trace) merged.merge(result.obs_metrics);
+            std::cout << "\nobservability metrics: " << outcome.spec.label() << '\n';
+            print_obs_metrics(merged);
+        }
+    }
     return 0;
 }
 
