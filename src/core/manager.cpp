@@ -15,6 +15,7 @@ const char* to_string(RejectReason reason) noexcept {
     case RejectReason::proved_infeasible: return "proved_infeasible";
     case RejectReason::solver_infeasible: return "solver_infeasible";
     case RejectReason::baseline_no_fit: return "baseline_no_fit";
+    case RejectReason::overload: return "overload";
     }
     return "unknown";
 }

@@ -76,9 +76,10 @@ enum class RejectReason : std::uint8_t {
     proved_infeasible,   ///< complete branch-and-bound proved no mapping exists
     solver_infeasible,   ///< MILP relaxation/search reported infeasible or hit its budget
     baseline_no_fit,     ///< greedy non-replanning placement found no slot
+    overload,            ///< shed by serve-mode admission-queue backpressure (src/serve)
 };
 
-inline constexpr std::size_t kRejectReasonCount = 6;
+inline constexpr std::size_t kRejectReasonCount = 7;
 
 [[nodiscard]] const char* to_string(RejectReason reason) noexcept;
 

@@ -1,8 +1,28 @@
 #include "obs/trace_sink.hpp"
 
+#include <atomic>
+#include <cstdio>
+
 #include "util/check.hpp"
 
 namespace rmwp::obs {
+namespace {
+
+/// One warning per process (not per sink): a 500-trace experiment with a
+/// small ring must not print 500 copies.  Overwriting is by design — the
+/// warning exists so nobody mistakes a truncated event file for the whole
+/// run.
+std::atomic_flag overwrite_warned = ATOMIC_FLAG_INIT;
+
+void note_ring_overwrite(std::size_t capacity) noexcept {
+    if (overwrite_warned.test_and_set(std::memory_order_relaxed)) return;
+    std::fprintf(stderr,
+                 "obs: TraceSink ring wrapped (capacity %zu); oldest events are being "
+                 "overwritten — dropped() counts them, exports keep the most recent tail\n",
+                 capacity);
+}
+
+} // namespace
 
 TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
     RMWP_EXPECT(capacity_ > 0);
@@ -11,6 +31,7 @@ TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
 
 void TraceSink::emit(double t_sim, EventKind kind, std::uint64_t task, std::int64_t resource,
                      double detail, std::uint32_t aux) noexcept {
+    if (emitted_ == capacity_) note_ring_overwrite(capacity_);
     TraceEvent& slot = ring_[emitted_ % capacity_];
     slot.t_sim = t_sim;
     slot.t_host =

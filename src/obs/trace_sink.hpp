@@ -51,6 +51,10 @@ public:
     [[nodiscard]] std::uint64_t dropped() const noexcept {
         return emitted_ > capacity_ ? emitted_ - capacity_ : 0;
     }
+    /// Events currently retained in the ring (== capacity once wrapped).
+    [[nodiscard]] std::uint64_t occupancy() const noexcept {
+        return emitted_ < capacity_ ? emitted_ : capacity_;
+    }
 
     /// The retained events, oldest first.
     [[nodiscard]] std::vector<TraceEvent> events() const;

@@ -14,6 +14,7 @@
 //    global EWMA fallback while a type is cold.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "predict/predictor.hpp"
@@ -29,6 +30,10 @@ public:
     /// Predicted next gap; meaningful after >= 1 observation.
     [[nodiscard]] double predict() const noexcept;
     [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+
+    /// Bit-exact state serialization for checkpointing (DESIGN.md §11).
+    void save(std::ostream& os) const;
+    void load(std::istream& is);
 
 private:
     double alpha_;
@@ -49,6 +54,10 @@ public:
     void observe_first(TaskTypeId first);
     /// Most likely successor of `from`; global mode when `from` is cold.
     [[nodiscard]] TaskTypeId predict(TaskTypeId from) const;
+
+    /// Bit-exact state serialization for checkpointing (DESIGN.md §11).
+    void save(std::ostream& os) const;
+    void load(std::istream& is);
 
 private:
     std::size_t type_count_;
@@ -71,10 +80,28 @@ public:
                                                              std::size_t depth) override;
     [[nodiscard]] Time overhead() const noexcept override { return overhead_; }
 
+    // Streaming interface (serve mode): the trace-based overrides above are
+    // thin adapters over these, so batch and streaming use stay bit-identical
+    // given the same arrival sequence.
+    void observe_arrival(const Request& request) override;
+    [[nodiscard]] std::vector<PredictedTask> predict_upcoming(Time now,
+                                                              std::size_t depth) override;
+
     /// Fraction of type predictions that turned out correct so far.
     [[nodiscard]] double realized_type_accuracy() const noexcept;
 
+    /// Bit-exact model-state serialization for crash-safe checkpointing
+    /// (DESIGN.md §11).  restore() throws std::runtime_error on a malformed
+    /// stream or a type-count mismatch with this predictor's catalog.
+    void save(std::ostream& os) const;
+    void restore(std::istream& is);
+
 private:
+    /// Shared rollout core: the batch path anchors at trace.request(index),
+    /// the streaming path at the most recent observed request.
+    [[nodiscard]] std::vector<PredictedTask> rollout(const Request& anchor, Time now,
+                                                     std::size_t depth);
+
     MarkovTypeChain chain_;
     TwoPhaseInterarrivalEstimator interarrival_;
     std::vector<double> type_deadline_ewma_;
@@ -89,6 +116,11 @@ private:
     std::size_t type_hits_ = 0;
     TaskTypeId last_predicted_type_ = 0;
     bool have_last_prediction_ = false;
+
+    // Streaming state: the most recent observed request (the batch path
+    // reads the previous request from the trace; the streaming path cannot).
+    Request last_request_{};
+    bool have_last_request_ = false;
 };
 
 } // namespace rmwp

@@ -58,6 +58,25 @@ public:
     /// Runtime cost of producing one prediction; the simulator delays the
     /// RM's decision by this much (Sec 5.5).
     [[nodiscard]] virtual Time overhead() const noexcept { return 0.0; }
+
+    // Streaming variants for long-running serve mode (DESIGN.md §11), where
+    // no trace vector exists and requests are observed one at a time.  The
+    // defaults mean "prediction unavailable": trace-bound predictors
+    // (oracle, noisy) need the future and cannot stream, so serve restricts
+    // --predictor to the kinds that override these (off, online).
+
+    /// A request has just arrived.  Streaming counterpart of observe().
+    virtual void observe_arrival(const Request& request) { (void)request; }
+
+    /// Predict up to `depth` upcoming requests, nearest first, from state
+    /// accumulated via observe_arrival().  Streaming counterpart of
+    /// predict_horizon().
+    [[nodiscard]] virtual std::vector<PredictedTask> predict_upcoming(Time now,
+                                                                      std::size_t depth) {
+        (void)now;
+        (void)depth;
+        return {};
+    }
 };
 
 /// Prediction disabled: predict_next is always empty and has no overhead.

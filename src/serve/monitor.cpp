@@ -1,0 +1,251 @@
+#include "serve/monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace rmwp {
+
+void LatencyBuckets::record(double microseconds) noexcept {
+    std::size_t bucket = 0;
+    if (microseconds >= 1.0) {
+        const int exponent = std::ilogb(microseconds);
+        bucket = std::min<std::size_t>(static_cast<std::size_t>(exponent) + 1, kBuckets - 1);
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyBuckets::quantile_us(double q) const noexcept {
+    std::array<std::uint64_t, kBuckets> snapshot{};
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        snapshot[b] = counts_[b].load(std::memory_order_relaxed);
+        total += snapshot[b];
+    }
+    if (total == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += snapshot[b];
+        if (seen > rank) return std::ldexp(1.0, static_cast<int>(b)); // bucket upper bound
+    }
+    return std::ldexp(1.0, static_cast<int>(kBuckets - 1));
+}
+
+std::uint64_t LatencyBuckets::count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t read_rss_kb() {
+    std::ifstream status("/proc/self/status");
+    if (!status) return 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmRSS:", 0) != 0) continue;
+        std::istringstream fields(line.substr(6));
+        std::uint64_t kb = 0;
+        fields >> kb;
+        return kb;
+    }
+    return 0;
+}
+
+BoardSample sample_board(const HealthBoard& board) {
+    BoardSample sample;
+    sample.arrivals = board.arrivals.load(std::memory_order_relaxed);
+    sample.decided = board.decided.load(std::memory_order_relaxed);
+    sample.shed = board.shed.load(std::memory_order_relaxed);
+    sample.queued = board.queued.load(std::memory_order_relaxed);
+    sample.completed = board.completed.load(std::memory_order_relaxed);
+    sample.deadline_misses = board.deadline_misses.load(std::memory_order_relaxed);
+    sample.parse_errors = board.parse_errors.load(std::memory_order_relaxed);
+    sample.audit_checks = board.audit_checks.load(std::memory_order_relaxed);
+    sample.active = board.active.load(std::memory_order_relaxed);
+    sample.ring_occupancy = board.ring_occupancy.load(std::memory_order_relaxed);
+    sample.sim_clock = board.sim_clock.load(std::memory_order_relaxed);
+    sample.latency_p99_us = board.latency.quantile_us(0.99);
+    sample.latency_count = board.latency.count();
+    sample.rss_kb = read_rss_kb();
+    return sample;
+}
+
+namespace {
+
+std::string with_numbers(const char* what, std::uint64_t lhs, std::uint64_t rhs) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer, "%s (%llu vs %llu)", what,
+                  static_cast<unsigned long long>(lhs), static_cast<unsigned long long>(rhs));
+    return buffer;
+}
+
+} // namespace
+
+std::optional<HealthReport> check_invariants(const BoardSample& previous,
+                                             const BoardSample& current,
+                                             const MonitorLimits& limits) {
+    const auto violation = [&current](std::string invariant,
+                                      std::string detail) -> HealthReport {
+        return HealthReport{std::move(invariant), std::move(detail), current};
+    };
+
+    // Monotone counters.  The board is written by one thread with relaxed
+    // stores, so any regression means corruption, not reordering.
+    struct Pair {
+        const char* name;
+        std::uint64_t prev, cur;
+    };
+    const Pair counters[] = {
+        {"arrivals", previous.arrivals, current.arrivals},
+        {"decided", previous.decided, current.decided},
+        {"shed", previous.shed, current.shed},
+        {"completed", previous.completed, current.completed},
+        {"deadline_misses", previous.deadline_misses, current.deadline_misses},
+        {"parse_errors", previous.parse_errors, current.parse_errors},
+        {"audit_checks", previous.audit_checks, current.audit_checks},
+    };
+    for (const Pair& counter : counters) {
+        if (counter.cur < counter.prev)
+            return violation("monotone_counter",
+                             with_numbers((std::string(counter.name) + " moved backwards").c_str(),
+                                          counter.cur, counter.prev));
+    }
+    if (current.sim_clock < previous.sim_clock)
+        return violation("monotone_clock", "simulation clock moved backwards");
+
+    // Accounting closes: every consumed arrival is decided, shed, or still
+    // queued.  (decided/shed/queued are sampled after arrivals, so the skew
+    // only makes the right side larger — the inequality is skew-safe.)
+    if (current.decided + current.shed > current.arrivals + current.queued)
+        return violation("accounting",
+                         with_numbers("decided+shed exceeds arrivals+queued",
+                                      current.decided + current.shed,
+                                      current.arrivals + current.queued));
+    if (current.completed > current.decided)
+        return violation("accounting",
+                         with_numbers("completed exceeds decided", current.completed,
+                                      current.decided));
+
+    if (limits.expect_no_misses && current.deadline_misses > 0)
+        return violation("deadline_guarantee",
+                         with_numbers("admitted-task deadline misses with faults disabled",
+                                      current.deadline_misses, 0));
+
+    if (limits.rss_budget_kb != 0 && current.rss_kb > limits.rss_budget_kb)
+        return violation("rss_budget", with_numbers("RSS (kB) over budget", current.rss_kb,
+                                                    limits.rss_budget_kb));
+    if (limits.active_budget != 0 && current.active > limits.active_budget)
+        return violation("active_budget", with_numbers("active set over budget", current.active,
+                                                       limits.active_budget));
+    if (limits.ring_capacity != 0 && current.ring_occupancy > limits.ring_capacity)
+        return violation("ring_capacity",
+                         with_numbers("observability ring over capacity",
+                                      current.ring_occupancy, limits.ring_capacity));
+    if (limits.latency_p99_budget_us > 0.0 && current.latency_count > 0 &&
+        current.latency_p99_us > limits.latency_p99_budget_us) {
+        char buffer[160];
+        std::snprintf(buffer, sizeof buffer,
+                      "decision latency p99 over budget (%.0fus vs %.0fus)",
+                      current.latency_p99_us, limits.latency_p99_budget_us);
+        return violation("latency_budget", buffer);
+    }
+
+    return std::nullopt;
+}
+
+std::string HealthReport::to_string() const {
+    char buffer[512];
+    std::snprintf(buffer, sizeof buffer,
+                  "invariant=%s detail=\"%s\" arrivals=%llu decided=%llu shed=%llu "
+                  "completed=%llu misses=%llu active=%llu rss_kb=%llu p99_us=%.0f "
+                  "sim_clock=%.3f",
+                  invariant.c_str(), detail.c_str(),
+                  static_cast<unsigned long long>(sample.arrivals),
+                  static_cast<unsigned long long>(sample.decided),
+                  static_cast<unsigned long long>(sample.shed),
+                  static_cast<unsigned long long>(sample.completed),
+                  static_cast<unsigned long long>(sample.deadline_misses),
+                  static_cast<unsigned long long>(sample.active),
+                  static_cast<unsigned long long>(sample.rss_kb), sample.latency_p99_us,
+                  sample.sim_clock);
+    return buffer;
+}
+
+RuntimeMonitor::RuntimeMonitor(const HealthBoard& board, const MonitorLimits& limits,
+                               double period_seconds, Callback on_violation)
+    : board_(board),
+      limits_(limits),
+      period_seconds_(period_seconds),
+      on_violation_(std::move(on_violation)) {}
+
+RuntimeMonitor::~RuntimeMonitor() { stop(); }
+
+void RuntimeMonitor::start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return;
+    started_ = true;
+    stop_requested_ = false;
+    thread_ = std::thread([this] { run(); });
+}
+
+void RuntimeMonitor::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_) return;
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = false;
+}
+
+void RuntimeMonitor::check_now() {
+    std::optional<HealthReport> fresh;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const bool had = violation_.has_value();
+        check_locked();
+        if (!had && violation_.has_value()) fresh = violation_;
+    }
+    if (fresh && on_violation_) on_violation_(*fresh);
+}
+
+void RuntimeMonitor::check_locked() {
+    const BoardSample current = sample_board(board_);
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    if (!violation_.has_value()) {
+        const BoardSample& baseline = have_previous_ ? previous_ : current;
+        violation_ = check_invariants(baseline, current, limits_);
+    }
+    previous_ = current;
+    have_previous_ = true;
+}
+
+void RuntimeMonitor::run() {
+    const auto period = std::chrono::duration<double>(period_seconds_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+        if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) break;
+        const bool had = violation_.has_value();
+        check_locked();
+        if (!had && violation_.has_value() && on_violation_) {
+            const HealthReport report = *violation_;
+            lock.unlock();
+            on_violation_(report);
+            lock.lock();
+        }
+    }
+}
+
+std::optional<HealthReport> RuntimeMonitor::violation() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return violation_;
+}
+
+} // namespace rmwp

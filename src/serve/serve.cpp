@@ -1,0 +1,433 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+#include "predict/online.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/hexfloat.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr const char* kCheckpointContext = "serve checkpoint";
+
+// Signal-to-drain flag.  The handlers only set it; the serve loop polls it
+// between arrivals.  volatile sig_atomic_t semantics via std::atomic<int>
+// (lock-free on every platform this builds on).
+std::atomic<int> g_stop_requested{0};
+
+void handle_stop_signal(int) { g_stop_requested.store(1, std::memory_order_relaxed); }
+
+struct PendingArrival {
+    Request request;
+    TaskUid uid = 0;
+    Time wake = 0.0;
+};
+
+std::string hexf(double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%a", value);
+    return buffer;
+}
+
+/// Canonical space-free digest of everything a restore must agree on.  A
+/// checkpoint taken under one configuration refuses to resume under
+/// another instead of silently diverging.
+std::string make_digest(const Platform& platform, const Catalog& catalog,
+                        const ResourceManager& rm, const Predictor& predictor,
+                        const ServeConfig& config) {
+    std::ostringstream os;
+    os << "v1|platform=" << platform.size() << "|catalog=" << catalog.size()
+       << "|rm=" << rm.name() << "|predictor=" << predictor.name()
+       << "|decision_cost=" << hexf(config.decision_cost)
+       << "|max_pending=" << config.max_pending
+       << "|lookahead=" << config.sim.lookahead
+       << "|exec_min=" << hexf(config.sim.execution_time_factor_min)
+       << "|exec_seed=" << config.sim.execution_seed
+       << "|fault_seed=" << config.fault_seed << "|fault_chunk=" << hexf(config.fault_chunk)
+       << "|outage=" << hexf(config.faults.outage_rate)
+       << "|outage_mean=" << hexf(config.faults.outage_duration_mean)
+       << "|throttle=" << hexf(config.faults.throttle_rate)
+       << "|throttle_mean=" << hexf(config.faults.throttle_duration_mean)
+       << "|min_online=" << config.faults.min_online;
+    if (!config.config_digest.empty()) os << '|' << config.config_digest;
+    std::string digest = os.str();
+    // Digest must stay one whitespace-free token for the checkpoint parser.
+    for (char& c : digest)
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+    return digest;
+}
+
+/// Fault chunk k: a seeded schedule over [k*chunk, (k+1)*chunk).  Each chunk
+/// derives its own child stream of the fault seed, so chunk k is computable
+/// without generating its predecessors (required for O(1) restore), and
+/// events overrunning the chunk end are clipped to it — every chunk is
+/// self-contained and the health mask returns to nominal at each boundary.
+FaultSchedule make_fault_chunk(const Platform& platform, const ServeConfig& config,
+                               std::uint64_t chunk_index) {
+    Rng rng = Rng(config.fault_seed).derive(chunk_index);
+    const FaultSchedule base =
+        generate_fault_schedule(platform, config.faults, config.fault_chunk, rng);
+    const Time offset = static_cast<Time>(chunk_index) * config.fault_chunk;
+    const Time chunk_end = offset + config.fault_chunk;
+    std::vector<FaultEvent> shifted;
+    shifted.reserve(base.size());
+    for (FaultEvent event : base.events()) {
+        event.start += offset;
+        event.end = std::isfinite(event.end) ? std::min(event.end + offset, chunk_end)
+                                             : chunk_end;
+        if (event.end <= event.start) continue;
+        shifted.push_back(event);
+    }
+    return FaultSchedule(std::move(shifted));
+}
+
+} // namespace
+
+void install_serve_signal_handlers() {
+    struct sigaction action {};
+    action.sa_handler = &handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+}
+
+void serve_request_stop() noexcept { g_stop_requested.store(1, std::memory_order_relaxed); }
+
+void serve_clear_stop() noexcept { g_stop_requested.store(0, std::memory_order_relaxed); }
+
+ServeResult run_serve(const Platform& platform, const Catalog& catalog, ResourceManager& rm,
+                      Predictor& predictor, const ReservationTable* reservations,
+                      ArrivalSource& source, const ServeConfig& config) {
+    RMWP_EXPECT(config.sim.fault_schedule == nullptr);
+    RMWP_EXPECT(config.sim.activation_period == 0.0);
+    RMWP_EXPECT(config.decision_cost >= 0.0);
+    if (config.faults.any()) {
+        if (config.faults.permanent_prob != 0.0)
+            throw std::runtime_error(
+                "serve: permanent faults are not supported (unbounded horizon)");
+        RMWP_EXPECT(config.fault_chunk > 0.0);
+    }
+    const bool checkpointing = !config.checkpoint_path.empty() && config.checkpoint_every > 0;
+    if ((checkpointing || !config.restore_path.empty()) && !source.seekable())
+        throw std::runtime_error("serve: checkpoint/restore requires a seekable source "
+                                 "(a trace file or the synthetic generator, not a pipe)");
+
+    const std::string digest = make_digest(platform, catalog, rm, predictor, config);
+    auto* online = dynamic_cast<OnlinePredictor*>(&predictor);
+
+    SimEngine engine(platform, catalog, rm, predictor, reservations, config.sim);
+    engine.begin_stream();
+
+    const bool faults_on = config.faults.any();
+    std::uint64_t chunk_index = 0;
+    std::optional<FaultSchedule> chunk;
+
+    std::deque<PendingArrival> backlog;
+    Time decider_free = 0.0;
+    std::uint64_t consumed = 0;
+    std::uint64_t shed = 0;
+
+    // --- restore ---
+    if (!config.restore_path.empty()) {
+        std::ifstream is(config.restore_path);
+        if (!is)
+            throw std::runtime_error("serve: cannot open checkpoint: " + config.restore_path);
+        std::string magic, version;
+        if (!(is >> magic >> version) || magic != "RMWP-SERVE-CHECKPOINT" || version != "1")
+            throw std::runtime_error("serve checkpoint: bad header");
+        std::string label, stored_digest;
+        if (!(is >> label >> stored_digest) || label != "digest")
+            throw std::runtime_error("serve checkpoint: missing digest");
+        if (stored_digest != digest)
+            throw std::runtime_error(
+                "serve checkpoint: configuration mismatch\n  checkpoint: " + stored_digest +
+                "\n  current:    " + digest);
+
+        consumed = get_u64(is, kCheckpointContext);
+        shed = get_u64(is, kCheckpointContext);
+        chunk_index = get_u64(is, kCheckpointContext);
+        decider_free = get_f64(is, kCheckpointContext);
+        SourceCursor cursor;
+        cursor.seq = get_u64(is, kCheckpointContext);
+        cursor.aux = get_f64(is, kCheckpointContext);
+
+        const auto backlog_size = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+        for (std::size_t k = 0; k < backlog_size; ++k) {
+            PendingArrival pending;
+            pending.uid = get_u64(is, kCheckpointContext);
+            pending.request.type =
+                static_cast<TaskTypeId>(get_u64(is, kCheckpointContext));
+            pending.request.arrival = get_f64(is, kCheckpointContext);
+            pending.request.relative_deadline = get_f64(is, kCheckpointContext);
+            pending.wake = get_f64(is, kCheckpointContext);
+            if (pending.request.type >= catalog.size())
+                throw std::runtime_error("serve checkpoint: backlog references unknown type");
+            backlog.push_back(pending);
+        }
+
+        if (faults_on) chunk = make_fault_chunk(platform, config, chunk_index);
+        engine.restore_stream(is, faults_on ? &*chunk : nullptr);
+
+        std::string predictor_tag;
+        if (!(is >> predictor_tag) || predictor_tag != "predictor")
+            throw std::runtime_error("serve checkpoint: missing predictor section");
+        std::string predictor_kind;
+        is >> predictor_kind;
+        if (predictor_kind == "online") {
+            if (online == nullptr)
+                throw std::runtime_error(
+                    "serve checkpoint: was taken with the online predictor");
+            online->restore(is);
+        } else if (predictor_kind != "none") {
+            throw std::runtime_error("serve checkpoint: unknown predictor kind \"" +
+                                     predictor_kind + "\"");
+        }
+
+        source.seek(cursor);
+    } else if (faults_on) {
+        chunk = make_fault_chunk(platform, config, 0);
+        engine.set_fault_schedule(&*chunk, 0.0, /*include_events_at_from=*/true);
+    }
+
+    // --- monitor ---
+    HealthBoard board;
+    board.arrivals.store(consumed, std::memory_order_relaxed);
+    board.shed.store(shed, std::memory_order_relaxed);
+    board.decided.store(consumed - shed - backlog.size(), std::memory_order_relaxed);
+    board.queued.store(backlog.size(), std::memory_order_relaxed);
+    std::uint64_t chaos_extra_misses = 0;
+
+    std::atomic<bool> violation_flagged{false};
+    RuntimeMonitor monitor(board, config.limits, config.monitor_period_seconds,
+                           [&violation_flagged](const HealthReport& report) {
+                               std::cerr << "[serve] INVARIANT VIOLATION: "
+                                         << report.to_string() << '\n';
+                               violation_flagged.store(true, std::memory_order_relaxed);
+                           });
+    if (config.monitor) monitor.start();
+
+    // --- rolling window stats ---
+    std::ostream& window_out = config.window_out != nullptr ? *config.window_out : std::cerr;
+    struct Cumulative {
+        std::size_t accepted = 0, rejected = 0, completed = 0, misses = 0;
+        std::uint64_t shed = 0;
+        double energy = 0.0;
+    };
+    Cumulative window_base{engine.result().accepted, engine.result().rejected,
+                           engine.result().completed, engine.result().deadline_misses,
+                           shed, engine.result().total_energy};
+    Time next_window = config.window > 0.0
+                           ? (std::floor(engine.clock() / config.window) + 1.0) * config.window
+                           : std::numeric_limits<Time>::infinity();
+    std::uint64_t windows_emitted = 0;
+
+    const auto publish_engine_state = [&] {
+        const TraceResult& r = engine.result();
+        // Engine `requests` counts both flushed and shed arrivals; `decided`
+        // on the board is the flushed-only share.
+        board.decided.store(r.requests - shed, std::memory_order_relaxed);
+        board.completed.store(r.completed, std::memory_order_relaxed);
+        board.deadline_misses.store(r.deadline_misses + chaos_extra_misses,
+                                    std::memory_order_relaxed);
+        board.audit_checks.store(r.audit_checks, std::memory_order_relaxed);
+        board.active.store(engine.active_count(), std::memory_order_relaxed);
+        board.queued.store(backlog.size(), std::memory_order_relaxed);
+        board.sim_clock.store(engine.clock(), std::memory_order_relaxed);
+        if (config.sim.sink != nullptr)
+            board.ring_occupancy.store(config.sim.sink->occupancy(),
+                                       std::memory_order_relaxed);
+    };
+
+    const auto emit_windows = [&] {
+        while (engine.clock() >= next_window) {
+            const TraceResult& r = engine.result();
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "[serve] t=%.0f accepted=%zu rejected=%zu shed=%llu completed=%zu "
+                          "misses=%zu active=%zu energy=%.1f",
+                          next_window, r.accepted - window_base.accepted,
+                          r.rejected - window_base.rejected,
+                          static_cast<unsigned long long>(shed - window_base.shed),
+                          r.completed - window_base.completed, r.deadline_misses - window_base.misses,
+                          engine.active_count(), r.total_energy - window_base.energy);
+            window_out << line << '\n';
+            window_base = {r.accepted, r.rejected, r.completed, r.deadline_misses, shed,
+                           r.total_energy};
+            next_window += config.window;
+            ++windows_emitted;
+        }
+    };
+
+    const auto flush_one = [&] {
+        const PendingArrival pending = backlog.front();
+        backlog.pop_front();
+        const auto begun = std::chrono::steady_clock::now();
+        engine.stream_arrival(pending.request, pending.uid, pending.wake);
+        const auto ended = std::chrono::steady_clock::now();
+        board.latency.record(
+            std::chrono::duration<double, std::micro>(ended - begun).count());
+        publish_engine_state();
+        emit_windows();
+    };
+
+    const auto chunk_end = [&] {
+        return static_cast<Time>(chunk_index + 1) * config.fault_chunk;
+    };
+    const auto switch_chunk = [&] {
+        const Time boundary = chunk_end();
+        engine.drain_through(boundary);
+        ++chunk_index;
+        chunk = make_fault_chunk(platform, config, chunk_index);
+        engine.set_fault_schedule(&*chunk, boundary, /*include_events_at_from=*/true);
+    };
+
+    /// Process queued decisions and fault-chunk boundaries in time order up
+    /// to (strictly before) the next arrival at `t`.
+    const auto advance_to = [&](Time t) {
+        while (true) {
+            const Time wake =
+                backlog.empty() ? std::numeric_limits<Time>::infinity() : backlog.front().wake;
+            const Time boundary =
+                faults_on ? chunk_end() : std::numeric_limits<Time>::infinity();
+            if (wake < t && wake <= boundary) {
+                flush_one();
+            } else if (faults_on && boundary <= t) {
+                switch_chunk();
+            } else {
+                break;
+            }
+        }
+    };
+
+    const auto write_checkpoint = [&] {
+        const std::string tmp = config.checkpoint_path + ".tmp";
+        {
+            std::ofstream os(tmp);
+            if (!os)
+                throw std::runtime_error("serve: cannot write checkpoint: " + tmp);
+            os << "RMWP-SERVE-CHECKPOINT 1\n";
+            os << "digest " << digest << '\n';
+            os << consumed << ' ' << shed << ' ' << chunk_index << '\n';
+            put_f64(os, decider_free);
+            const SourceCursor cursor = source.cursor();
+            os << cursor.seq << ' ';
+            put_f64(os, cursor.aux);
+            os << backlog.size() << '\n';
+            for (const PendingArrival& pending : backlog) {
+                os << pending.uid << ' ' << pending.request.type << '\n';
+                put_f64(os, pending.request.arrival);
+                put_f64(os, pending.request.relative_deadline);
+                put_f64(os, pending.wake);
+            }
+            engine.save_stream(os);
+            os << "predictor " << (online != nullptr ? "online" : "none") << '\n';
+            if (online != nullptr) online->save(os);
+            os.flush();
+            if (!os) throw std::runtime_error("serve: checkpoint write failed: " + tmp);
+        }
+        if (std::rename(tmp.c_str(), config.checkpoint_path.c_str()) != 0)
+            throw std::runtime_error("serve: cannot move checkpoint into place: " +
+                                     config.checkpoint_path);
+    };
+
+    // --- main loop ---
+    const auto wall_begin = std::chrono::steady_clock::now();
+    ServeResult out;
+    bool stopped_by_signal = false;
+
+    while (true) {
+        if (g_stop_requested.load(std::memory_order_relaxed) != 0) {
+            stopped_by_signal = true;
+            break;
+        }
+        if (violation_flagged.load(std::memory_order_relaxed)) break;
+        if (config.max_arrivals != 0 && consumed >= config.max_arrivals) break;
+
+        const std::optional<Request> request = source.next();
+        if (!request.has_value()) break;
+        if (config.max_sim_time > 0.0 && request->arrival > config.max_sim_time) break;
+
+        advance_to(request->arrival);
+
+        const TaskUid uid = consumed;
+        ++consumed;
+        if (config.max_pending != 0 && backlog.size() >= config.max_pending) {
+            engine.stream_shed(*request, uid);
+            ++shed;
+            board.shed.store(shed, std::memory_order_relaxed);
+        } else {
+            // Deterministic admission decider in simulation time: one
+            // request at a time, `decision_cost` each.  cost = 0 degrades
+            // to wake == arrival, i.e. exactly the batch protocol.
+            const Time wake = std::max(decider_free, request->arrival) + config.decision_cost;
+            decider_free = wake;
+            backlog.push_back({*request, uid, wake});
+        }
+        board.arrivals.store(consumed, std::memory_order_relaxed);
+        board.parse_errors.store(source.parse_errors(), std::memory_order_relaxed);
+        publish_engine_state();
+
+        if (config.chaos_fake_miss_at != 0 && consumed == config.chaos_fake_miss_at) {
+            chaos_extra_misses = 1;
+            publish_engine_state();
+        }
+
+        if (checkpointing && consumed % config.checkpoint_every == 0) {
+            write_checkpoint();
+            ++out.checkpoints_written;
+        }
+    }
+
+    // --- graceful drain: decide everything still queued, run to quiescence ---
+    while (!backlog.empty()) {
+        if (faults_on && chunk_end() <= backlog.front().wake) {
+            switch_chunk();
+        } else {
+            flush_one();
+        }
+    }
+    out.result = engine.finish_stream();
+    publish_engine_state();
+
+    if (config.monitor) {
+        monitor.check_now();
+        monitor.stop();
+    }
+    emit_windows();
+
+    out.arrivals = consumed;
+    out.shed = shed;
+    out.parse_errors = source.parse_errors();
+    out.monitor_checks = monitor.checks();
+    out.windows_emitted = windows_emitted;
+    out.stopped_by_signal = stopped_by_signal;
+    out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                     wall_begin)
+                           .count();
+    out.latency_p50_us = board.latency.quantile_us(0.50);
+    out.latency_p99_us = board.latency.quantile_us(0.99);
+    if (const auto violation = monitor.violation(); violation.has_value()) {
+        out.exit_code = 3;
+        out.violation = violation->to_string();
+    }
+    return out;
+}
+
+} // namespace rmwp

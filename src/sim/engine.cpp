@@ -1,0 +1,919 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace_sink.hpp"
+#include "util/check.hpp"
+#include "util/hexfloat.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr double kFractionEps = 1e-9;
+constexpr double kTimeEps = 1e-6;
+
+constexpr std::uint32_t kArrivalEvent = 0;
+constexpr std::uint32_t kCompletionEvent = 1;
+constexpr std::uint32_t kActivationEvent = 2;
+constexpr std::uint32_t kFaultOnsetEvent = 3;
+constexpr std::uint32_t kFaultRecoveryEvent = 4;
+
+constexpr const char* kCheckpointContext = "engine checkpoint";
+
+} // namespace
+
+SimEngine::SimEngine(const Platform& platform, const Catalog& catalog, ResourceManager& rm,
+                     Predictor& predictor, const ReservationTable* reservations,
+                     const SimOptions& options)
+    : platform_(platform),
+      catalog_(catalog),
+      rm_(rm),
+      predictor_(predictor),
+      reservations_(reservations),
+      options_(options),
+      execution_rng_(options.execution_seed) {}
+
+TraceResult SimEngine::run(const Trace& trace) {
+    RMWP_EXPECT(!streaming_ && trace_ == nullptr);
+    trace_ = &trace;
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) init_obs();
+#endif
+    result_.requests = trace.size();
+    for (const Request& request : trace)
+        result_.reference_energy += catalog_.type(request.type).mean_energy();
+
+    for (std::size_t j = 0; j < trace.size(); ++j)
+        events_.schedule(trace.request(j).arrival, kArrivalEvent, j);
+
+    if (options_.fault_schedule != nullptr) {
+        const auto& faults = options_.fault_schedule->events();
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+            events_.schedule(faults[f].start, kFaultOnsetEvent, f);
+            if (std::isfinite(faults[f].end))
+                events_.schedule(faults[f].end, kFaultRecoveryEvent, f);
+        }
+    }
+
+    return finalize();
+}
+
+void SimEngine::begin_stream() {
+    RMWP_EXPECT(!streaming_ && trace_ == nullptr);
+    RMWP_EXPECT(options_.activation_period == 0.0);
+    streaming_ = true;
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) init_obs();
+#endif
+}
+
+Time SimEngine::stream_arrival(const Request& request, TaskUid uid, Time wake) {
+    RMWP_EXPECT(streaming_);
+    RMWP_EXPECT(uid < kReservedUidBase);
+    RMWP_EXPECT(wake >= request.arrival);
+    drain_until(wake);
+
+    RMWP_TRACE(options_.sink, request.arrival, obs::EventKind::arrival, uid, obs::kNoResource,
+               request.absolute_deadline());
+    ++result_.requests;
+    result_.reference_energy += catalog_.type(request.type).mean_energy();
+
+    const Time decision_time = wake_up(wake);
+    ++result_.activations;
+    predictor_.observe_arrival(request);
+    decide_on(request, uid, 0, decision_time);
+    rebuild(decision_time);
+    return decision_time;
+}
+
+void SimEngine::stream_shed(const Request& request, TaskUid uid) {
+    RMWP_EXPECT(streaming_);
+    ++result_.requests;
+    result_.reference_energy += catalog_.type(request.type).mean_energy();
+    ++result_.rejected;
+    RMWP_TRACE(options_.sink, request.arrival, obs::EventKind::reject, uid, obs::kNoResource,
+               0.0, static_cast<std::uint32_t>(RejectReason::overload));
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr)
+        ins_.reject[static_cast<std::size_t>(RejectReason::overload)]->add();
+#endif
+}
+
+void SimEngine::drain_until(Time t) {
+    while (!events_.empty() && events_.next_time() < t) dispatch(events_.pop());
+}
+
+void SimEngine::drain_through(Time t) {
+    while (!events_.empty() && events_.next_time() <= t) dispatch(events_.pop());
+}
+
+void SimEngine::set_fault_schedule(const FaultSchedule* schedule, Time from,
+                                   bool include_events_at_from) {
+    RMWP_EXPECT(streaming_);
+    options_.fault_schedule = schedule;
+    if (schedule == nullptr) return;
+    const auto after = [&](Time t) { return include_events_at_from ? t >= from : t > from; };
+    const auto& faults = schedule->events();
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (after(faults[f].start)) events_.schedule(faults[f].start, kFaultOnsetEvent, f);
+        if (std::isfinite(faults[f].end) && after(faults[f].end))
+            events_.schedule(faults[f].end, kFaultRecoveryEvent, f);
+    }
+}
+
+TraceResult SimEngine::finish_stream() {
+    RMWP_EXPECT(streaming_);
+    return finalize();
+}
+
+TraceResult SimEngine::finalize() {
+    while (!events_.empty()) dispatch(events_.pop());
+    advance(std::numeric_limits<Time>::infinity());
+    RMWP_ENSURE(active_.empty());
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) {
+        ins_.sink_events_total->add(options_.sink->total_emitted());
+        ins_.sink_dropped->add(options_.sink->dropped());
+        ins_.sink_ring_occupancy->add(static_cast<double>(options_.sink->occupancy()));
+        result_.obs_metrics = options_.sink->metrics().snapshot();
+    }
+#endif
+    return result_;
+}
+
+void SimEngine::dispatch(const Event& event) {
+    if (event.kind == kArrivalEvent) {
+        RMWP_TRACE(options_.sink, event.time, obs::EventKind::arrival, event.payload,
+                   obs::kNoResource,
+                   trace_->request(static_cast<std::size_t>(event.payload)).absolute_deadline());
+        if (options_.activation_period > 0.0) {
+            enqueue_for_batch(static_cast<std::size_t>(event.payload));
+        } else {
+            handle_arrival(static_cast<std::size_t>(event.payload));
+        }
+    } else if (event.kind == kActivationEvent) {
+        handle_activation(event.time);
+    } else if (event.kind == kFaultOnsetEvent || event.kind == kFaultRecoveryEvent) {
+        handle_fault(event.time, event.kind == kFaultOnsetEvent,
+                     static_cast<std::size_t>(event.payload));
+    } else {
+        advance(event.time);
+        // The completion event is only valid for the current plan
+        // generation, so the task must really be gone by now.
+        if (options_.validate) RMWP_ENSURE(find_task(event.payload) == nullptr);
+#ifdef RMWP_AUDIT
+        // Completion audit: the executed window must still satisfy
+        // every structural invariant it satisfied when planned.
+        // (Window-only: task states have advanced past the items.)
+        if (options_.audit)
+            run_audit(auditor_.audit_window(platform_, audited_now_, audited_items_, schedule_,
+                                            &health_));
+#endif
+        // With execution-time variation the completion was (likely)
+        // earlier than the WCET plan assumed: re-plan immediately so
+        // queued tasks reclaim the slack.
+        if (options_.execution_time_factor_min < 1.0) rebuild(event.time);
+    }
+}
+
+ActiveTask* SimEngine::find_task(TaskUid uid) {
+    for (ActiveTask& task : active_)
+        if (task.uid == uid) return &task;
+    return nullptr;
+}
+
+double SimEngine::actual_work(TaskUid uid) const {
+    const auto it = actual_work_.find(uid);
+    return it == actual_work_.end() ? 1.0 : it->second;
+}
+
+void SimEngine::charge_energy(double energy) {
+    result_.total_energy += energy;
+    if (!health_.all_nominal()) result_.degraded_energy += energy;
+}
+
+void SimEngine::advance(Time to) {
+    const Time from = clock_;
+    to = std::max(to, from);
+    for (ResourceId i = 0; i < platform_.size(); ++i) {
+        if (schedule_.per_resource.size() <= i) break;
+        const bool non_preemptable = !platform_.resource(i).preemptable();
+        for (const Segment& segment : schedule_.per_resource[i].segments) {
+            if (segment.start >= to) break;
+            // Only the part of the segment inside (from, to] is new work;
+            // earlier advances already consumed the prefix.
+            const Time begin = std::max(segment.start, from);
+            const Time executed_until = std::min(segment.end, to);
+            const double duration = executed_until - begin;
+            if (duration <= 0.0) continue;
+
+            if (is_reserved_uid(segment.uid)) {
+                // Critical reservation: accrue its energy pro rata.
+                const CriticalTask& critical = reservations_->task_of(segment.uid);
+                result_.critical_energy +=
+                    duration / critical.duration * critical.energy_per_instance;
+                continue;
+            }
+            ActiveTask* task = find_task(segment.uid);
+            RMWP_ENSURE(task != nullptr);
+            task->started = true;
+            if (non_preemptable) task->pinned = true;
+
+            // One exec slice per executed span; repeated advances over
+            // one segment yield adjacent slices, never overlaps, so the
+            // per-resource busy time is the plain sum of slice durations.
+            RMWP_TRACE(options_.sink, begin, obs::EventKind::exec, segment.uid,
+                       static_cast<std::int64_t>(i), duration);
+#ifdef RMWP_OBS
+            if (options_.sink != nullptr) ins_.busy_time[i]->add(duration);
+#endif
+
+            const double overhead = std::min(task->pending_overhead, duration);
+            task->pending_overhead -= overhead;
+            const double progress_time = duration - overhead;
+            // Progress and energy rates come from the task's mapped
+            // resource entry (its operating point on DVFS platforms);
+            // `i` is the physical timeline the segment lives on.
+            const TaskType& type = catalog_.type(task->type);
+            // A throttled resource stretches the effective WCET by its
+            // factor (the energy per unit of work is unchanged).
+            const double wcet = type.wcet(task->resource) * health_.throttle(task->resource);
+            double fraction = std::min(progress_time / wcet, task->remaining_fraction);
+
+            // Early completion: the task's real work can be less than
+            // its WCET budget; it finishes the moment the actual work is
+            // done, mid-segment.
+            //
+            // Tolerance: planner segment endpoints are sums carried at the
+            // clock's magnitude, so the fraction a segment yields can fall
+            // short of the planned amount by ~ulp(clock)/wcet — which
+            // outgrows any fixed fraction epsilon on long horizons (at
+            // clock ~3.5e7 one ulp is already ~7.5e-9).  Accept completion
+            // whenever the residual work, expressed in time, is below the
+            // same kTimeEps used for deadline comparisons.
+            const double done_before = 1.0 - task->remaining_fraction;
+            const double actual = actual_work(task->uid);
+            const double fraction_eps = std::max(kFractionEps, kTimeEps / wcet);
+            Time completed_at = -1.0;
+            if (done_before + fraction >= actual - fraction_eps) {
+                fraction = std::max(0.0, actual - done_before);
+                completed_at = begin + overhead + fraction * wcet;
+            }
+
+            charge_energy(fraction * type.energy(task->resource));
+            task->remaining_fraction -= fraction;
+
+            if (completed_at >= 0.0) {
+                task->remaining_fraction = 0.0;
+                ++result_.completed;
+                RMWP_TRACE(options_.sink, completed_at, obs::EventKind::complete, segment.uid,
+                           static_cast<std::int64_t>(i));
+#ifdef RMWP_OBS
+                if (options_.sink != nullptr) ins_.complete->add();
+#endif
+                if (completed_at > task->absolute_deadline + kTimeEps) {
+                    ++result_.deadline_misses;
+                    if (options_.validate) RMWP_ENSURE(false); // firm guarantee violated
+                }
+            } else if (executed_until >= segment.end &&
+                       task->remaining_fraction > kFractionEps) {
+                // The planned slice closed with work left: the task is
+                // preempted here and resumes in a later slice.
+                RMWP_TRACE(options_.sink, segment.end, obs::EventKind::preempt, segment.uid,
+                           static_cast<std::int64_t>(i));
+#ifdef RMWP_OBS
+                if (options_.sink != nullptr) ins_.preempt->add();
+#endif
+            }
+        }
+    }
+    std::erase_if(active_, [this](const ActiveTask& task) {
+        if (!task.finished()) return false;
+        // Drop the hidden-work entry with its task so the map stays
+        // O(active set) over unbounded streams.
+        actual_work_.erase(task.uid);
+        return true;
+    });
+    clock_ = std::max(clock_, std::min(to, schedule_horizon()));
+}
+
+Time SimEngine::schedule_horizon() const {
+    Time latest = clock_;
+    for (const ResourceTimeline& timeline : schedule_.per_resource)
+        if (!timeline.segments.empty())
+            latest = std::max(latest, timeline.segments.back().end);
+    return latest;
+}
+
+Time SimEngine::wake_up(Time wake) {
+    const Time overhead = predictor_.overhead();
+    Time decision_time = std::max(wake + overhead, clock_);
+    if (overhead > 0.0 && options_.overhead_stalls_platform) {
+        // The manager runs on the platform: execution halts during the
+        // decision window.  Progress stops at the wake-up; the clock
+        // jumps to the decision time with the skipped segments left
+        // unexecuted (rebuild() re-plans the remaining work from there).
+        advance(wake);
+        decision_time = std::max(wake, clock_) + overhead;
+        clock_ = decision_time;
+        abort_doomed(decision_time);
+    } else {
+        advance(decision_time);
+    }
+    return decision_time;
+}
+
+void SimEngine::process_request(std::size_t index, Time decision_time) {
+    predictor_.observe(*trace_, index);
+    decide_on(trace_->request(index), static_cast<TaskUid>(index), index, decision_time);
+}
+
+void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index,
+                          Time decision_time) {
+    ActiveTask candidate;
+    candidate.uid = uid;
+    candidate.type = request.type;
+    candidate.arrival = request.arrival;
+    candidate.absolute_deadline = request.absolute_deadline();
+
+    // A request whose deadline already passed while waiting for the
+    // activation boundary cannot be served.
+    if (candidate.absolute_deadline <= decision_time + kTimeEps) {
+        ++result_.rejected;
+        RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
+                   obs::kNoResource, 0.0,
+                   static_cast<std::uint32_t>(RejectReason::deadline_passed));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr)
+            ins_.reject[static_cast<std::size_t>(RejectReason::deadline_passed)]->add();
+#endif
+        return;
+    }
+
+    ArrivalContext context;
+    context.now = decision_time;
+    context.platform = &platform_;
+    context.catalog = &catalog_;
+    context.active = active_;
+    context.candidate = candidate;
+    context.predicted =
+        streaming_ ? predictor_.predict_upcoming(decision_time, options_.lookahead)
+                   : predictor_.predict_horizon(*trace_, index, decision_time,
+                                                options_.lookahead);
+    context.reservations = reservations_;
+    context.health = &health_;
+
+    const auto started = std::chrono::steady_clock::now();
+    const Decision decision = rm_.decide(context);
+    const auto finished = std::chrono::steady_clock::now();
+    result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
+
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) {
+        // host scope: measures this machine, excluded from determinism.
+        ins_.admission_latency_us->record(
+            std::chrono::duration<double, std::micro>(finished - started).count());
+        // sim scope: the size of the instance the RM planned over.
+        ins_.plan_size->record(static_cast<double>(context.active.size() + 1));
+    }
+#endif
+
+#ifdef RMWP_AUDIT
+    if (options_.audit) {
+        AuditReport report = auditor_.audit_decision(context, decision);
+        if (options_.audit_differential) {
+            auto differential = auditor_.differential_admission(context, decision);
+            if (differential.checked) {
+                ++result_.audit_differential_checks;
+                if (differential.exact_admits && !decision.admitted)
+                    ++result_.audit_differential_gaps;
+                report.merge(std::move(differential.report));
+            }
+        }
+        run_audit(std::move(report));
+    }
+#endif
+
+    if (decision.admitted) {
+        ++result_.accepted;
+        if (decision.used_prediction) ++result_.plans_with_prediction;
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) {
+            std::int64_t mapped = obs::kNoResource;
+            for (const TaskAssignment& assignment : decision.assignments)
+                if (assignment.uid == candidate.uid)
+                    mapped = static_cast<std::int64_t>(assignment.resource);
+            options_.sink->emit(decision_time, obs::EventKind::admit, candidate.uid, mapped,
+                                0.0, decision.used_prediction ? 1u : 0u);
+            ins_.admit->add();
+        }
+#endif
+        apply(decision, candidate, decision_time);
+    } else {
+        ++result_.rejected;
+        RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
+                   obs::kNoResource, 0.0, static_cast<std::uint32_t>(decision.reason));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr)
+            ins_.reject[static_cast<std::size_t>(decision.reason)]->add();
+#endif
+    }
+}
+
+void SimEngine::handle_arrival(std::size_t index) {
+    const Time decision_time = wake_up(trace_->request(index).arrival);
+    ++result_.activations;
+    process_request(index, decision_time);
+    rebuild(decision_time);
+}
+
+void SimEngine::enqueue_for_batch(std::size_t index) {
+    pending_.push_back(index);
+    const Time arrival = trace_->request(index).arrival;
+    const double periods = std::ceil(arrival / options_.activation_period);
+    const Time boundary = std::max(periods * options_.activation_period, arrival);
+    if (boundary > last_activation_scheduled_ + kTimeEps) {
+        events_.schedule(boundary, kActivationEvent, 0);
+        last_activation_scheduled_ = boundary;
+    }
+}
+
+void SimEngine::handle_activation(Time boundary) {
+    if (pending_.empty()) return;
+    const Time decision_time = wake_up(boundary);
+    ++result_.activations;
+    for (const std::size_t index : pending_) process_request(index, decision_time);
+    pending_.clear();
+    rebuild(decision_time);
+}
+
+void SimEngine::handle_fault(Time event_time, bool onset, std::size_t fault_index) {
+    advance(event_time);
+    // A decision stall can have pushed the clock past the event; health
+    // and the re-plan are then evaluated at the later instant.
+    const Time now = std::max(event_time, clock_);
+    const FaultEvent& fault = options_.fault_schedule->events()[fault_index];
+    health_ = options_.fault_schedule->health_at(platform_, now);
+
+    if (onset) {
+        if (fault.takes_offline()) ++result_.resource_outages;
+        else ++result_.throttle_events;
+        RMWP_TRACE(options_.sink, now, obs::EventKind::fault_onset, obs::kNoTask,
+                   static_cast<std::int64_t>(fault.resource), fault.factor,
+                   static_cast<std::uint32_t>(fault.kind));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.fault_onset->add();
+#endif
+        rescue_activation(now);
+    } else {
+        RMWP_TRACE(options_.sink, now, obs::EventKind::fault_recovery, obs::kNoTask,
+                   static_cast<std::int64_t>(fault.resource), 1.0,
+                   static_cast<std::uint32_t>(fault.kind));
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.fault_recovery->add();
+#endif
+        // Capacity restored (or a throttle relaxed): the current set is
+        // still feasible, so only the schedule needs refreshing.
+        rebuild(now);
+    }
+}
+
+void SimEngine::rescue_activation(Time now) {
+    ++result_.rescue_activations;
+    RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_begin, obs::kNoTask, obs::kNoResource,
+               static_cast<double>(active_.size()));
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) ins_.rescue_activation->add();
+#endif
+
+    // Interrupt displaced tasks (their resource went offline).  On a
+    // preemptable resource the saved context survives the fault and the
+    // task resumes elsewhere after a real migration; non-preemptable
+    // resources (GPU-like) lose the in-flight execution state, so the
+    // task restarts from scratch — no longer started, pinned, or owing
+    // migration time.
+    std::vector<TaskUid> displaced;
+    for (ActiveTask& task : active_) {
+        if (health_.online(task.resource)) continue;
+        displaced.push_back(task.uid);
+        if (!platform_.resource(task.resource).preemptable()) {
+            task.remaining_fraction = 1.0;
+            task.started = false;
+            task.pinned = false;
+            task.pending_overhead = 0.0;
+        }
+    }
+
+    RescueContext context;
+    context.now = now;
+    context.platform = &platform_;
+    context.catalog = &catalog_;
+    context.active = active_;
+    context.health = &health_;
+    context.reservations = reservations_;
+
+    const auto started = std::chrono::steady_clock::now();
+    const RescueDecision decision = rm_.rescue(context);
+    const auto finished = std::chrono::steady_clock::now();
+    result_.rescue_decision_seconds +=
+        std::chrono::duration<double>(finished - started).count();
+
+#ifdef RMWP_AUDIT
+    if (options_.audit) run_audit(auditor_.audit_rescue(context, decision));
+#endif
+
+    if (options_.validate)
+        RMWP_ENSURE(decision.kept.size() + decision.aborted.size() == active_.size());
+
+    for (const TaskUid uid : decision.aborted) {
+        const std::size_t before = active_.size();
+        std::erase_if(active_, [uid](const ActiveTask& task) { return task.uid == uid; });
+        RMWP_ENSURE(active_.size() + 1 == before);
+        actual_work_.erase(uid);
+        ++result_.fault_aborted;
+        RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_abort, uid);
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.rescue_abort->add();
+#endif
+    }
+
+    const auto was_displaced = [&](TaskUid uid) {
+        return std::find(displaced.begin(), displaced.end(), uid) != displaced.end();
+    };
+    for (const TaskAssignment& assignment : decision.kept) {
+        ActiveTask* task = find_task(assignment.uid);
+        RMWP_ENSURE(task != nullptr);
+        if (options_.validate) RMWP_ENSURE(health_.online(assignment.resource));
+        if (assignment.resource != task->resource) {
+            RMWP_ENSURE(!task->pinned);
+            const bool physical_move = platform_.resource(task->resource).physical() !=
+                                       platform_.resource(assignment.resource).physical();
+            if (task->started) {
+                const TaskType& type = catalog_.type(task->type);
+                task->pending_overhead =
+                    type.migration_time(task->resource, assignment.resource);
+                if (physical_move) {
+                    const double energy =
+                        type.migration_energy(task->resource, assignment.resource);
+                    charge_energy(energy);
+                    result_.migration_energy += energy;
+                    ++result_.migrations;
+                    ++result_.rescue_migrations;
+                    RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
+                               static_cast<std::int64_t>(task->resource), energy,
+                               static_cast<std::uint32_t>(assignment.resource));
+#ifdef RMWP_OBS
+                    if (options_.sink != nullptr) ins_.migrate->add();
+#endif
+                }
+            }
+            task->resource = assignment.resource;
+        }
+        if (was_displaced(assignment.uid)) ++result_.rescued;
+        RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_keep, assignment.uid,
+                   static_cast<std::int64_t>(assignment.resource), 0.0,
+                   was_displaced(assignment.uid) ? 1u : 0u);
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) ins_.rescue_keep->add();
+#endif
+    }
+
+    rebuild(now);
+}
+
+void SimEngine::apply(const Decision& decision, const ActiveTask& candidate,
+                      [[maybe_unused]] Time now) {
+    for (const TaskAssignment& assignment : decision.assignments) {
+        if (assignment.uid == candidate.uid) {
+            ActiveTask admitted = candidate;
+            admitted.resource = assignment.resource;
+            active_.push_back(admitted);
+            if (options_.execution_time_factor_min < 1.0) {
+                // Batch mode draws sequentially (the historical contract the
+                // determinism tests pin down); streaming mode derives an
+                // independent stream per uid, so a checkpoint needs no RNG
+                // state — replaying uid j always sees the same draw.
+                actual_work_[admitted.uid] =
+                    streaming_
+                        ? Rng(options_.execution_seed)
+                              .derive(admitted.uid)
+                              .uniform(options_.execution_time_factor_min, 1.0)
+                        : execution_rng_.uniform(options_.execution_time_factor_min, 1.0);
+            }
+            continue;
+        }
+        ActiveTask* task = find_task(assignment.uid);
+        RMWP_ENSURE(task != nullptr);
+        if (assignment.resource == task->resource) continue;
+        RMWP_ENSURE(!task->pinned); // non-preemptable tasks never move
+        const bool physical_move = platform_.resource(task->resource).physical() !=
+                                   platform_.resource(assignment.resource).physical();
+        if (task->started) {
+            const TaskType& type = catalog_.type(task->type);
+            // Relocation replaces any unpaid migration time with the new
+            // pair's cost — exactly what occupied_time() plans with.  A
+            // level switch on the same core costs nothing and moves no
+            // state, so it is not counted as a migration.
+            task->pending_overhead = type.migration_time(task->resource, assignment.resource);
+            if (physical_move) {
+                const double energy =
+                    type.migration_energy(task->resource, assignment.resource);
+                charge_energy(energy);
+                result_.migration_energy += energy;
+                ++result_.migrations;
+                RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
+                           static_cast<std::int64_t>(task->resource), energy,
+                           static_cast<std::uint32_t>(assignment.resource));
+#ifdef RMWP_OBS
+                if (options_.sink != nullptr) ins_.migrate->add();
+#endif
+            }
+        }
+        task->resource = assignment.resource;
+    }
+}
+
+WindowSchedule SimEngine::plan_current(Time now, std::vector<ScheduleItem>* items_out) const {
+    std::vector<ScheduleItem> items;
+    items.reserve(active_.size());
+    Time horizon = now;
+    for (const ActiveTask& task : active_) {
+        items.push_back(
+            make_schedule_item(task, catalog_.type(task.type), task.resource, now, &health_));
+        horizon = std::max(horizon, task.absolute_deadline);
+    }
+    if (reservations_ != nullptr && !reservations_->empty())
+        reservations_->append_blocks(now, horizon, items);
+    if (items_out != nullptr) *items_out = items;
+    return build_window_schedule(platform_, now, items);
+}
+
+void SimEngine::abort_doomed(Time now) {
+    while (true) {
+        std::vector<ScheduleItem> items;
+        const WindowSchedule schedule = plan_current(now, &items);
+        if (schedule.feasible) return;
+        const std::size_t before = active_.size();
+        std::vector<TaskUid> doomed;
+        std::erase_if(active_, [&](const ActiveTask& task) {
+            const auto completion = schedule.completion_of(task.uid);
+            const bool late =
+                completion.has_value() && *completion > task.absolute_deadline + kTimeEps;
+            if (late) doomed.push_back(task.uid);
+            return late;
+        });
+        if (active_.size() == before) {
+            // No adaptive task misses its own deadline, so the
+            // infeasibility is a *reservation* made late (e.g. a pinned
+            // task overrunning into a reserved window after a stall).
+            // Kill one adaptive occupant of each violated resource.
+            for (const ScheduleItem& item : items) {
+                if (!item.reserved) continue;
+                const auto completion = schedule.completion_of(item.uid);
+                if (!completion || *completion <= item.abs_deadline + kTimeEps) continue;
+                bool removed = false;
+                std::erase_if(active_, [&](const ActiveTask& task) {
+                    if (removed || task.resource != item.resource) return false;
+                    removed = true;
+                    doomed.push_back(task.uid);
+                    return true;
+                });
+            }
+            RMWP_ENSURE(active_.size() < before);
+        }
+        for (const TaskUid uid : doomed) actual_work_.erase(uid);
+        result_.aborted += before - active_.size();
+#ifdef RMWP_OBS
+        if (options_.sink != nullptr) {
+            for (const TaskUid uid : doomed) {
+                options_.sink->emit(now, obs::EventKind::abort_overhead, uid);
+                ins_.abort_overhead->add();
+            }
+        }
+#endif
+    }
+}
+
+Time SimEngine::actual_completion(const ActiveTask& task, Time planned) const {
+    const double actual = actual_work(task.uid);
+    if (actual >= 1.0) return planned;
+    const TaskType& type = catalog_.type(task.type);
+    double work_left = std::max(0.0, actual - (1.0 - task.remaining_fraction)) *
+                       type.wcet(task.resource) * health_.throttle(task.resource);
+    double overhead_left = task.pending_overhead;
+    for (const Segment& segment : schedule_.segments_of(task.uid)) {
+        double duration = segment.duration();
+        const double overhead = std::min(overhead_left, duration);
+        overhead_left -= overhead;
+        duration -= overhead;
+        if (duration >= work_left - 1e-12) return segment.start + overhead + work_left;
+        work_left -= duration;
+    }
+    return planned;
+}
+
+void SimEngine::rebuild(Time now) {
+    RMWP_TRACE(options_.sink, now, obs::EventKind::plan_rebuild, obs::kNoTask, obs::kNoResource,
+               static_cast<double>(active_.size()));
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) ins_.plan_rebuild->add();
+#endif
+#ifdef RMWP_AUDIT
+    schedule_ = plan_current(now, &audited_items_);
+    audited_now_ = now;
+    if (options_.audit) run_audit(audit_schedule());
+#else
+    schedule_ = plan_current(now);
+#endif
+    if (options_.validate) RMWP_ENSURE(schedule_.feasible);
+
+    events_.cancel_group(generation_);
+    ++generation_;
+    for (const ActiveTask& task : active_) {
+        const auto completion = schedule_.completion_of(task.uid);
+        RMWP_ENSURE(completion.has_value());
+        events_.schedule(actual_completion(task, *completion), kCompletionEvent, task.uid,
+                         generation_);
+    }
+}
+
+void SimEngine::save_stream(std::ostream& os) {
+    RMWP_EXPECT(streaming_);
+    // Clean cut: everything at or before the clock has happened (a fault
+    // event landing exactly on the checkpoint instant is processed now, in
+    // the same order an uninterrupted run would process it next), so
+    // restore only re-derives strictly later events.
+    drain_through(clock_);
+
+    os << "RMWP-SIM-ENGINE 1\n";
+    put_f64(os, clock_);
+
+    os << platform_.size() << '\n';
+    for (ResourceId i = 0; i < platform_.size(); ++i) {
+        os << (health_.online(i) ? 1 : 0) << ' ';
+        put_f64(os, health_.throttle(i));
+    }
+
+    os << active_.size() << '\n';
+    for (const ActiveTask& task : active_) {
+        os << task.uid << ' ' << task.type << ' ' << task.resource << ' '
+           << (task.started ? 1 : 0) << ' ' << (task.pinned ? 1 : 0) << '\n';
+        put_f64(os, task.arrival);
+        put_f64(os, task.absolute_deadline);
+        put_f64(os, task.remaining_fraction);
+        put_f64(os, task.pending_overhead);
+        put_f64(os, actual_work(task.uid));
+    }
+
+    // TraceResult accumulators, declared order (host-time fields included:
+    // a restored run reports the total effort spent across both halves).
+    os << result_.requests << ' ' << result_.accepted << ' ' << result_.rejected << ' '
+       << result_.completed << ' ' << result_.deadline_misses << ' ' << result_.aborted << ' '
+       << result_.fault_aborted << ' ' << result_.migrations << ' ' << result_.activations
+       << ' ' << result_.plans_with_prediction << ' ' << result_.audit_checks << ' '
+       << result_.audit_differential_checks << ' ' << result_.audit_differential_gaps << ' '
+       << result_.resource_outages << ' ' << result_.throttle_events << ' '
+       << result_.rescue_activations << ' ' << result_.rescued << ' '
+       << result_.rescue_migrations << '\n';
+    put_f64(os, result_.total_energy);
+    put_f64(os, result_.migration_energy);
+    put_f64(os, result_.critical_energy);
+    put_f64(os, result_.decision_seconds);
+    put_f64(os, result_.rescue_decision_seconds);
+    put_f64(os, result_.degraded_energy);
+    put_f64(os, result_.reference_energy);
+}
+
+void SimEngine::restore_stream(std::istream& is, const FaultSchedule* faults) {
+    RMWP_EXPECT(streaming_);
+    RMWP_EXPECT(active_.empty() && clock_ == 0.0);
+    std::string magic, version;
+    if (!(is >> magic >> version) || magic != "RMWP-SIM-ENGINE" || version != "1")
+        throw std::runtime_error("engine checkpoint: bad header");
+    clock_ = get_f64(is, kCheckpointContext);
+
+    const auto resource_count = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    if (resource_count != platform_.size())
+        throw std::runtime_error("engine checkpoint: platform size mismatch");
+    health_ = PlatformHealth{};
+    for (ResourceId i = 0; i < platform_.size(); ++i) {
+        const bool online = get_u64(is, kCheckpointContext) != 0;
+        const double throttle = get_f64(is, kCheckpointContext);
+        // Health is per physical core; apply through the first operating
+        // point that owns the core (set_* fan out to siblings).
+        if (platform_.resource(i).physical() != i) continue;
+        if (!online) health_.set_online(platform_, i, false);
+        if (throttle != 1.0) health_.set_throttle(platform_, i, throttle);
+    }
+
+    const auto active_count = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    active_.clear();
+    actual_work_.clear();
+    for (std::size_t k = 0; k < active_count; ++k) {
+        ActiveTask task;
+        task.uid = get_u64(is, kCheckpointContext);
+        task.type = static_cast<TaskTypeId>(get_u64(is, kCheckpointContext));
+        task.resource = static_cast<ResourceId>(get_u64(is, kCheckpointContext));
+        task.started = get_u64(is, kCheckpointContext) != 0;
+        task.pinned = get_u64(is, kCheckpointContext) != 0;
+        task.arrival = get_f64(is, kCheckpointContext);
+        task.absolute_deadline = get_f64(is, kCheckpointContext);
+        task.remaining_fraction = get_f64(is, kCheckpointContext);
+        task.pending_overhead = get_f64(is, kCheckpointContext);
+        const double work = get_f64(is, kCheckpointContext);
+        if (work < 1.0) actual_work_[task.uid] = work;
+        if (task.type >= catalog_.size() || task.resource >= platform_.size())
+            throw std::runtime_error("engine checkpoint: task references unknown type/resource");
+        active_.push_back(task);
+    }
+
+    result_.requests = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.accepted = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.rejected = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.completed = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.deadline_misses = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.aborted = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.fault_aborted = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.migrations = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.activations = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.plans_with_prediction = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.audit_checks = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.audit_differential_checks = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.audit_differential_gaps = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.resource_outages = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.throttle_events = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.rescue_activations = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.rescued = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.rescue_migrations = static_cast<std::size_t>(get_u64(is, kCheckpointContext));
+    result_.total_energy = get_f64(is, kCheckpointContext);
+    result_.migration_energy = get_f64(is, kCheckpointContext);
+    result_.critical_energy = get_f64(is, kCheckpointContext);
+    result_.decision_seconds = get_f64(is, kCheckpointContext);
+    result_.rescue_decision_seconds = get_f64(is, kCheckpointContext);
+    result_.degraded_energy = get_f64(is, kCheckpointContext);
+    result_.reference_energy = get_f64(is, kCheckpointContext);
+
+    // Re-derive everything save_stream did not carry: pending fault events
+    // strictly after the cut (the restored health mask already reflects
+    // events at or before it) and the completion schedule.
+    set_fault_schedule(faults, clock_, /*include_events_at_from=*/false);
+    rebuild(clock_);
+}
+
+#ifdef RMWP_AUDIT
+AuditReport SimEngine::audit_schedule() const {
+    AuditReport report = auditor_.audit_items(platform_, catalog_, audited_now_, active_,
+                                              audited_items_, &health_);
+    report.merge(
+        auditor_.audit_window(platform_, audited_now_, audited_items_, schedule_, &health_));
+    return report;
+}
+
+void SimEngine::run_audit(AuditReport report) {
+    ++result_.audit_checks;
+    if (!report.ok()) throw audit_error(report);
+}
+#endif
+
+#ifdef RMWP_OBS
+void SimEngine::init_obs() {
+    obs::MetricsRegistry& m = options_.sink->metrics();
+    ins_.admit = &m.counter("admit");
+    for (std::size_t r = 0; r < kRejectReasonCount; ++r)
+        ins_.reject[r] =
+            &m.counter(std::string("reject.") + to_string(static_cast<RejectReason>(r)));
+    ins_.preempt = &m.counter("preempt");
+    ins_.migrate = &m.counter("migrate");
+    ins_.complete = &m.counter("complete");
+    ins_.abort_overhead = &m.counter("abort_overhead");
+    ins_.plan_rebuild = &m.counter("plan_rebuild");
+    ins_.rescue_activation = &m.counter("rescue.activation");
+    ins_.rescue_keep = &m.counter("rescue.keep");
+    ins_.rescue_abort = &m.counter("rescue.abort");
+    ins_.fault_onset = &m.counter("fault.onset");
+    ins_.fault_recovery = &m.counter("fault.recovery");
+    // Sink self-accounting: how much of the event stream survived the
+    // ring.  Filled in once at the end of the run — the values are
+    // functions of the (deterministic) event count and the configured
+    // capacity, so they stay in the deterministic scope.
+    ins_.sink_events_total = &m.counter("sink.events_total");
+    ins_.sink_dropped = &m.counter("sink.dropped");
+    ins_.sink_ring_occupancy = &m.gauge("sink.ring_occupancy");
+    ins_.busy_time.resize(platform_.size());
+    for (ResourceId i = 0; i < platform_.size(); ++i)
+        ins_.busy_time[i] = &m.gauge("busy_time." + std::to_string(i));
+    ins_.plan_size = &m.histogram("plan_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    ins_.admission_latency_us =
+        &m.histogram("admission_latency_us", {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0},
+                     obs::MetricScope::host);
+}
+#endif
+
+} // namespace rmwp

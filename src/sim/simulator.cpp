@@ -1,796 +1,22 @@
+// Batch front-end: one SimEngine per trace (the engine carries all the
+// execution-model logic; see sim/engine.hpp and DESIGN.md §11).
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <array>
-#include <chrono>
-#include <cmath>
-#include <limits>
-#include <string>
-
-#include "obs/trace_sink.hpp"
-#include "util/check.hpp"
-#include "util/rng.hpp"
-
-#ifdef RMWP_AUDIT
-#include "audit/audit.hpp"
-#endif
+#include "sim/engine.hpp"
 
 namespace rmwp {
-namespace {
-
-constexpr double kFractionEps = 1e-9;
-constexpr double kTimeEps = 1e-6;
-
-constexpr std::uint32_t kArrivalEvent = 0;
-constexpr std::uint32_t kCompletionEvent = 1;
-constexpr std::uint32_t kActivationEvent = 2;
-constexpr std::uint32_t kFaultOnsetEvent = 3;
-constexpr std::uint32_t kFaultRecoveryEvent = 4;
-
-#ifdef RMWP_OBS
-/// Cached instrument handles (DESIGN.md §10).  Registered once per run, in
-/// a fixed order, so hot-path sites update through pointers instead of
-/// name lookups and the snapshot layout never depends on which events the
-/// run happens to hit.
-struct Instruments {
-    obs::Counter* admit = nullptr;
-    std::array<obs::Counter*, kRejectReasonCount> reject{};
-    obs::Counter* preempt = nullptr;
-    obs::Counter* migrate = nullptr;
-    obs::Counter* complete = nullptr;
-    obs::Counter* abort_overhead = nullptr;
-    obs::Counter* plan_rebuild = nullptr;
-    obs::Counter* rescue_activation = nullptr;
-    obs::Counter* rescue_keep = nullptr;
-    obs::Counter* rescue_abort = nullptr;
-    obs::Counter* fault_onset = nullptr;
-    obs::Counter* fault_recovery = nullptr;
-    std::vector<obs::Gauge*> busy_time; ///< indexed by ResourceId
-    obs::Histogram* plan_size = nullptr;
-    obs::Histogram* admission_latency_us = nullptr;
-};
-#endif
-
-class Simulation {
-public:
-    Simulation(const Platform& platform, const Catalog& catalog, const Trace& trace,
-               ResourceManager& rm, Predictor& predictor,
-               const ReservationTable* reservations, const SimOptions& options)
-        : platform_(platform),
-          catalog_(catalog),
-          trace_(trace),
-          rm_(rm),
-          predictor_(predictor),
-          reservations_(reservations),
-          options_(options),
-          execution_rng_(options.execution_seed) {}
-
-    TraceResult run() {
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr) init_obs();
-#endif
-        result_.requests = trace_.size();
-        for (const Request& request : trace_)
-            result_.reference_energy += catalog_.type(request.type).mean_energy();
-
-        for (std::size_t j = 0; j < trace_.size(); ++j)
-            events_.schedule(trace_.request(j).arrival, kArrivalEvent, j);
-
-        if (options_.fault_schedule != nullptr) {
-            const auto& faults = options_.fault_schedule->events();
-            for (std::size_t f = 0; f < faults.size(); ++f) {
-                events_.schedule(faults[f].start, kFaultOnsetEvent, f);
-                if (std::isfinite(faults[f].end))
-                    events_.schedule(faults[f].end, kFaultRecoveryEvent, f);
-            }
-        }
-
-        while (!events_.empty()) {
-            const Event event = events_.pop();
-            if (event.kind == kArrivalEvent) {
-                RMWP_TRACE(options_.sink, event.time, obs::EventKind::arrival, event.payload,
-                           obs::kNoResource,
-                           trace_.request(static_cast<std::size_t>(event.payload))
-                               .absolute_deadline());
-                if (options_.activation_period > 0.0) {
-                    enqueue_for_batch(static_cast<std::size_t>(event.payload));
-                } else {
-                    handle_arrival(static_cast<std::size_t>(event.payload));
-                }
-            } else if (event.kind == kActivationEvent) {
-                handle_activation(event.time);
-            } else if (event.kind == kFaultOnsetEvent || event.kind == kFaultRecoveryEvent) {
-                handle_fault(event.time, event.kind == kFaultOnsetEvent,
-                             static_cast<std::size_t>(event.payload));
-            } else {
-                advance(event.time);
-                // The completion event is only valid for the current plan
-                // generation, so the task must really be gone by now.
-                if (options_.validate) RMWP_ENSURE(find_task(event.payload) == nullptr);
-#ifdef RMWP_AUDIT
-                // Completion audit: the executed window must still satisfy
-                // every structural invariant it satisfied when planned.
-                // (Window-only: task states have advanced past the items.)
-                if (options_.audit)
-                    run_audit(auditor_.audit_window(platform_, audited_now_, audited_items_,
-                                                    schedule_, &health_));
-#endif
-                // With execution-time variation the completion was (likely)
-                // earlier than the WCET plan assumed: re-plan immediately so
-                // queued tasks reclaim the slack.
-                if (options_.execution_time_factor_min < 1.0) rebuild(event.time);
-            }
-        }
-        advance(std::numeric_limits<Time>::infinity());
-        RMWP_ENSURE(active_.empty());
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr) result_.obs_metrics = options_.sink->metrics().snapshot();
-#endif
-        return result_;
-    }
-
-private:
-    [[nodiscard]] ActiveTask* find_task(TaskUid uid) {
-        for (ActiveTask& task : active_)
-            if (task.uid == uid) return &task;
-        return nullptr;
-    }
-
-    /// Fraction of the WCET this task actually needs (1.0 without the
-    /// execution-time-variation extension).
-    [[nodiscard]] double actual_work(TaskUid uid) const {
-        const auto it = actual_work_.find(uid);
-        return it == actual_work_.end() ? 1.0 : it->second;
-    }
-
-    /// Accrue energy, splitting off the share consumed while the platform
-    /// was degraded (some resource offline or throttled).
-    void charge_energy(double energy) {
-        result_.total_energy += energy;
-        if (!health_.all_nominal()) result_.degraded_energy += energy;
-    }
-
-    /// Execute the current window schedule from the last advance point up
-    /// to `to`: progress fractions, consume migration overhead, accrue
-    /// energy, and retire completed tasks.  The health mask is constant
-    /// over the executed span: every health change is a discrete event that
-    /// advances up to itself before updating the mask and rebuilding.
-    void advance(Time to) {
-        const Time from = clock_;
-        to = std::max(to, from);
-        for (ResourceId i = 0; i < platform_.size(); ++i) {
-            if (schedule_.per_resource.size() <= i) break;
-            const bool non_preemptable = !platform_.resource(i).preemptable();
-            for (const Segment& segment : schedule_.per_resource[i].segments) {
-                if (segment.start >= to) break;
-                // Only the part of the segment inside (from, to] is new work;
-                // earlier advances already consumed the prefix.
-                const Time begin = std::max(segment.start, from);
-                const Time executed_until = std::min(segment.end, to);
-                const double duration = executed_until - begin;
-                if (duration <= 0.0) continue;
-
-                if (is_reserved_uid(segment.uid)) {
-                    // Critical reservation: accrue its energy pro rata.
-                    const CriticalTask& critical = reservations_->task_of(segment.uid);
-                    result_.critical_energy +=
-                        duration / critical.duration * critical.energy_per_instance;
-                    continue;
-                }
-                ActiveTask* task = find_task(segment.uid);
-                RMWP_ENSURE(task != nullptr);
-                task->started = true;
-                if (non_preemptable) task->pinned = true;
-
-                // One exec slice per executed span; repeated advances over
-                // one segment yield adjacent slices, never overlaps, so the
-                // per-resource busy time is the plain sum of slice durations.
-                RMWP_TRACE(options_.sink, begin, obs::EventKind::exec, segment.uid,
-                           static_cast<std::int64_t>(i), duration);
-#ifdef RMWP_OBS
-                if (options_.sink != nullptr) ins_.busy_time[i]->add(duration);
-#endif
-
-                const double overhead = std::min(task->pending_overhead, duration);
-                task->pending_overhead -= overhead;
-                const double progress_time = duration - overhead;
-                // Progress and energy rates come from the task's mapped
-                // resource entry (its operating point on DVFS platforms);
-                // `i` is the physical timeline the segment lives on.
-                const TaskType& type = catalog_.type(task->type);
-                // A throttled resource stretches the effective WCET by its
-                // factor (the energy per unit of work is unchanged).
-                const double wcet =
-                    type.wcet(task->resource) * health_.throttle(task->resource);
-                double fraction = std::min(progress_time / wcet, task->remaining_fraction);
-
-                // Early completion: the task's real work can be less than
-                // its WCET budget; it finishes the moment the actual work is
-                // done, mid-segment.
-                const double done_before = 1.0 - task->remaining_fraction;
-                const double actual = actual_work(task->uid);
-                Time completed_at = -1.0;
-                if (done_before + fraction >= actual - kFractionEps) {
-                    fraction = std::max(0.0, actual - done_before);
-                    completed_at = begin + overhead + fraction * wcet;
-                }
-
-                charge_energy(fraction * type.energy(task->resource));
-                task->remaining_fraction -= fraction;
-
-                if (completed_at >= 0.0) {
-                    task->remaining_fraction = 0.0;
-                    ++result_.completed;
-                    RMWP_TRACE(options_.sink, completed_at, obs::EventKind::complete,
-                               segment.uid, static_cast<std::int64_t>(i));
-#ifdef RMWP_OBS
-                    if (options_.sink != nullptr) ins_.complete->add();
-#endif
-                    if (completed_at > task->absolute_deadline + kTimeEps) {
-                        ++result_.deadline_misses;
-                        if (options_.validate) RMWP_ENSURE(false); // firm guarantee violated
-                    }
-                } else if (executed_until >= segment.end &&
-                           task->remaining_fraction > kFractionEps) {
-                    // The planned slice closed with work left: the task is
-                    // preempted here and resumes in a later slice.
-                    RMWP_TRACE(options_.sink, segment.end, obs::EventKind::preempt, segment.uid,
-                               static_cast<std::int64_t>(i));
-#ifdef RMWP_OBS
-                    if (options_.sink != nullptr) ins_.preempt->add();
-#endif
-                }
-            }
-        }
-        std::erase_if(active_, [](const ActiveTask& task) { return task.finished(); });
-        clock_ = std::max(clock_, std::min(to, schedule_horizon()));
-    }
-
-    [[nodiscard]] Time schedule_horizon() const {
-        Time latest = clock_;
-        for (const ResourceTimeline& timeline : schedule_.per_resource)
-            if (!timeline.segments.empty())
-                latest = std::max(latest, timeline.segments.back().end);
-        return latest;
-    }
-
-    /// Run the decision wake-up protocol at `wake`: advance (or stall)
-    /// execution and return the decision instant.
-    [[nodiscard]] Time wake_up(Time wake) {
-        const Time overhead = predictor_.overhead();
-        Time decision_time = std::max(wake + overhead, clock_);
-        if (overhead > 0.0 && options_.overhead_stalls_platform) {
-            // The manager runs on the platform: execution halts during the
-            // decision window.  Progress stops at the wake-up; the clock
-            // jumps to the decision time with the skipped segments left
-            // unexecuted (rebuild() re-plans the remaining work from there).
-            advance(wake);
-            decision_time = std::max(wake, clock_) + overhead;
-            clock_ = decision_time;
-            abort_doomed(decision_time);
-        } else {
-            advance(decision_time);
-        }
-        return decision_time;
-    }
-
-    /// Decide on one request at `decision_time` (no rebuild; the caller
-    /// rebuilds once after a batch).
-    void process_request(std::size_t index, Time decision_time) {
-        const Request& request = trace_.request(index);
-        predictor_.observe(trace_, index);
-
-        ActiveTask candidate;
-        candidate.uid = static_cast<TaskUid>(index);
-        candidate.type = request.type;
-        candidate.arrival = request.arrival;
-        candidate.absolute_deadline = request.absolute_deadline();
-
-        // A request whose deadline already passed while waiting for the
-        // activation boundary cannot be served.
-        if (candidate.absolute_deadline <= decision_time + kTimeEps) {
-            ++result_.rejected;
-            RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
-                       obs::kNoResource, 0.0,
-                       static_cast<std::uint32_t>(RejectReason::deadline_passed));
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr)
-                ins_.reject[static_cast<std::size_t>(RejectReason::deadline_passed)]->add();
-#endif
-            return;
-        }
-
-        ArrivalContext context;
-        context.now = decision_time;
-        context.platform = &platform_;
-        context.catalog = &catalog_;
-        context.active = active_;
-        context.candidate = candidate;
-        context.predicted =
-            predictor_.predict_horizon(trace_, index, decision_time, options_.lookahead);
-        context.reservations = reservations_;
-        context.health = &health_;
-
-        const auto started = std::chrono::steady_clock::now();
-        const Decision decision = rm_.decide(context);
-        const auto finished = std::chrono::steady_clock::now();
-        result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
-
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr) {
-            // host scope: measures this machine, excluded from determinism.
-            ins_.admission_latency_us->record(
-                std::chrono::duration<double, std::micro>(finished - started).count());
-            // sim scope: the size of the instance the RM planned over.
-            ins_.plan_size->record(static_cast<double>(context.active.size() + 1));
-        }
-#endif
-
-#ifdef RMWP_AUDIT
-        if (options_.audit) {
-            AuditReport report = auditor_.audit_decision(context, decision);
-            if (options_.audit_differential) {
-                auto differential = auditor_.differential_admission(context, decision);
-                if (differential.checked) {
-                    ++result_.audit_differential_checks;
-                    if (differential.exact_admits && !decision.admitted)
-                        ++result_.audit_differential_gaps;
-                    report.merge(std::move(differential.report));
-                }
-            }
-            run_audit(std::move(report));
-        }
-#endif
-
-        if (decision.admitted) {
-            ++result_.accepted;
-            if (decision.used_prediction) ++result_.plans_with_prediction;
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) {
-                std::int64_t mapped = obs::kNoResource;
-                for (const TaskAssignment& assignment : decision.assignments)
-                    if (assignment.uid == candidate.uid)
-                        mapped = static_cast<std::int64_t>(assignment.resource);
-                options_.sink->emit(decision_time, obs::EventKind::admit, candidate.uid, mapped,
-                                    0.0, decision.used_prediction ? 1u : 0u);
-                ins_.admit->add();
-            }
-#endif
-            apply(decision, candidate, decision_time);
-        } else {
-            ++result_.rejected;
-            RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
-                       obs::kNoResource, 0.0, static_cast<std::uint32_t>(decision.reason));
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr)
-                ins_.reject[static_cast<std::size_t>(decision.reason)]->add();
-#endif
-        }
-    }
-
-    void handle_arrival(std::size_t index) {
-        const Time decision_time = wake_up(trace_.request(index).arrival);
-        ++result_.activations;
-        process_request(index, decision_time);
-        rebuild(decision_time);
-    }
-
-    void enqueue_for_batch(std::size_t index) {
-        pending_.push_back(index);
-        const Time arrival = trace_.request(index).arrival;
-        const double periods = std::ceil(arrival / options_.activation_period);
-        const Time boundary = std::max(periods * options_.activation_period, arrival);
-        if (boundary > last_activation_scheduled_ + kTimeEps) {
-            events_.schedule(boundary, kActivationEvent, 0);
-            last_activation_scheduled_ = boundary;
-        }
-    }
-
-    void handle_activation(Time boundary) {
-        if (pending_.empty()) return;
-        const Time decision_time = wake_up(boundary);
-        ++result_.activations;
-        for (const std::size_t index : pending_) process_request(index, decision_time);
-        pending_.clear();
-        rebuild(decision_time);
-    }
-
-    /// Process one fault onset/recovery event: execute up to the event
-    /// under the old health mask, switch to the new mask, then either run a
-    /// rescue activation (capacity loss) or just rebuild (capacity gain).
-    void handle_fault(Time event_time, bool onset, std::size_t fault_index) {
-        advance(event_time);
-        // A decision stall can have pushed the clock past the event; health
-        // and the re-plan are then evaluated at the later instant.
-        const Time now = std::max(event_time, clock_);
-        const FaultEvent& fault = options_.fault_schedule->events()[fault_index];
-        health_ = options_.fault_schedule->health_at(platform_, now);
-
-        if (onset) {
-            if (fault.takes_offline()) ++result_.resource_outages;
-            else ++result_.throttle_events;
-            RMWP_TRACE(options_.sink, now, obs::EventKind::fault_onset, obs::kNoTask,
-                       static_cast<std::int64_t>(fault.resource), fault.factor,
-                       static_cast<std::uint32_t>(fault.kind));
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) ins_.fault_onset->add();
-#endif
-            rescue_activation(now);
-        } else {
-            RMWP_TRACE(options_.sink, now, obs::EventKind::fault_recovery, obs::kNoTask,
-                       static_cast<std::int64_t>(fault.resource), 1.0,
-                       static_cast<std::uint32_t>(fault.kind));
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) ins_.fault_recovery->add();
-#endif
-            // Capacity restored (or a throttle relaxed): the current set is
-            // still feasible, so only the schedule needs refreshing.
-            rebuild(now);
-        }
-    }
-
-    /// Capacity was lost: interrupt the tasks on struck resources and let
-    /// the RM re-plan the surviving set on the healthy capacity.
-    void rescue_activation(Time now) {
-        ++result_.rescue_activations;
-        RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_begin, obs::kNoTask,
-                   obs::kNoResource, static_cast<double>(active_.size()));
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr) ins_.rescue_activation->add();
-#endif
-
-        // Interrupt displaced tasks (their resource went offline).  On a
-        // preemptable resource the saved context survives the fault and the
-        // task resumes elsewhere after a real migration; non-preemptable
-        // resources (GPU-like) lose the in-flight execution state, so the
-        // task restarts from scratch — no longer started, pinned, or owing
-        // migration time.
-        std::vector<TaskUid> displaced;
-        for (ActiveTask& task : active_) {
-            if (health_.online(task.resource)) continue;
-            displaced.push_back(task.uid);
-            if (!platform_.resource(task.resource).preemptable()) {
-                task.remaining_fraction = 1.0;
-                task.started = false;
-                task.pinned = false;
-                task.pending_overhead = 0.0;
-            }
-        }
-
-        RescueContext context;
-        context.now = now;
-        context.platform = &platform_;
-        context.catalog = &catalog_;
-        context.active = active_;
-        context.health = &health_;
-        context.reservations = reservations_;
-
-        const auto started = std::chrono::steady_clock::now();
-        const RescueDecision decision = rm_.rescue(context);
-        const auto finished = std::chrono::steady_clock::now();
-        result_.rescue_decision_seconds +=
-            std::chrono::duration<double>(finished - started).count();
-
-#ifdef RMWP_AUDIT
-        if (options_.audit) run_audit(auditor_.audit_rescue(context, decision));
-#endif
-
-        if (options_.validate)
-            RMWP_ENSURE(decision.kept.size() + decision.aborted.size() == active_.size());
-
-        for (const TaskUid uid : decision.aborted) {
-            const std::size_t before = active_.size();
-            std::erase_if(active_, [uid](const ActiveTask& task) { return task.uid == uid; });
-            RMWP_ENSURE(active_.size() + 1 == before);
-            ++result_.fault_aborted;
-            RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_abort, uid);
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) ins_.rescue_abort->add();
-#endif
-        }
-
-        const auto was_displaced = [&](TaskUid uid) {
-            return std::find(displaced.begin(), displaced.end(), uid) != displaced.end();
-        };
-        for (const TaskAssignment& assignment : decision.kept) {
-            ActiveTask* task = find_task(assignment.uid);
-            RMWP_ENSURE(task != nullptr);
-            if (options_.validate) RMWP_ENSURE(health_.online(assignment.resource));
-            if (assignment.resource != task->resource) {
-                RMWP_ENSURE(!task->pinned);
-                const bool physical_move = platform_.resource(task->resource).physical() !=
-                                           platform_.resource(assignment.resource).physical();
-                if (task->started) {
-                    const TaskType& type = catalog_.type(task->type);
-                    task->pending_overhead =
-                        type.migration_time(task->resource, assignment.resource);
-                    if (physical_move) {
-                        const double energy =
-                            type.migration_energy(task->resource, assignment.resource);
-                        charge_energy(energy);
-                        result_.migration_energy += energy;
-                        ++result_.migrations;
-                        ++result_.rescue_migrations;
-                        RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
-                                   static_cast<std::int64_t>(task->resource), energy,
-                                   static_cast<std::uint32_t>(assignment.resource));
-#ifdef RMWP_OBS
-                        if (options_.sink != nullptr) ins_.migrate->add();
-#endif
-                    }
-                }
-                task->resource = assignment.resource;
-            }
-            if (was_displaced(assignment.uid)) ++result_.rescued;
-            RMWP_TRACE(options_.sink, now, obs::EventKind::rescue_keep, assignment.uid,
-                       static_cast<std::int64_t>(assignment.resource), 0.0,
-                       was_displaced(assignment.uid) ? 1u : 0u);
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) ins_.rescue_keep->add();
-#endif
-        }
-
-        rebuild(now);
-    }
-
-    void apply(const Decision& decision, const ActiveTask& candidate,
-               [[maybe_unused]] Time now) {
-        for (const TaskAssignment& assignment : decision.assignments) {
-            if (assignment.uid == candidate.uid) {
-                ActiveTask admitted = candidate;
-                admitted.resource = assignment.resource;
-                active_.push_back(admitted);
-                if (options_.execution_time_factor_min < 1.0) {
-                    actual_work_[admitted.uid] =
-                        execution_rng_.uniform(options_.execution_time_factor_min, 1.0);
-                }
-                continue;
-            }
-            ActiveTask* task = find_task(assignment.uid);
-            RMWP_ENSURE(task != nullptr);
-            if (assignment.resource == task->resource) continue;
-            RMWP_ENSURE(!task->pinned); // non-preemptable tasks never move
-            const bool physical_move = platform_.resource(task->resource).physical() !=
-                                       platform_.resource(assignment.resource).physical();
-            if (task->started) {
-                const TaskType& type = catalog_.type(task->type);
-                // Relocation replaces any unpaid migration time with the new
-                // pair's cost — exactly what occupied_time() plans with.  A
-                // level switch on the same core costs nothing and moves no
-                // state, so it is not counted as a migration.
-                task->pending_overhead =
-                    type.migration_time(task->resource, assignment.resource);
-                if (physical_move) {
-                    const double energy =
-                        type.migration_energy(task->resource, assignment.resource);
-                    charge_energy(energy);
-                    result_.migration_energy += energy;
-                    ++result_.migrations;
-                    RMWP_TRACE(options_.sink, now, obs::EventKind::migrate, task->uid,
-                               static_cast<std::int64_t>(task->resource), energy,
-                               static_cast<std::uint32_t>(assignment.resource));
-#ifdef RMWP_OBS
-                    if (options_.sink != nullptr) ins_.migrate->add();
-#endif
-                }
-            }
-            task->resource = assignment.resource;
-        }
-    }
-
-    [[nodiscard]] WindowSchedule plan_current(Time now,
-                                              std::vector<ScheduleItem>* items_out = nullptr) const {
-        std::vector<ScheduleItem> items;
-        items.reserve(active_.size());
-        Time horizon = now;
-        for (const ActiveTask& task : active_) {
-            items.push_back(make_schedule_item(task, catalog_.type(task.type), task.resource,
-                                               now, &health_));
-            horizon = std::max(horizon, task.absolute_deadline);
-        }
-        if (reservations_ != nullptr && !reservations_->empty())
-            reservations_->append_blocks(now, horizon, items);
-        if (items_out != nullptr) *items_out = items;
-        return build_window_schedule(platform_, now, items);
-    }
-
-    /// Overhead stalls can make a previously guaranteed task unable to meet
-    /// its deadline; such tasks are aborted before the RM decides (firm
-    /// real-time: a late result is useless, and keeping the doomed task
-    /// would unfairly poison the admission check for the arriving one).
-    void abort_doomed(Time now) {
-        while (true) {
-            std::vector<ScheduleItem> items;
-            const WindowSchedule schedule = plan_current(now, &items);
-            if (schedule.feasible) return;
-            const std::size_t before = active_.size();
-            std::vector<TaskUid> doomed;
-            std::erase_if(active_, [&](const ActiveTask& task) {
-                const auto completion = schedule.completion_of(task.uid);
-                const bool late = completion.has_value() &&
-                                  *completion > task.absolute_deadline + kTimeEps;
-                if (late) doomed.push_back(task.uid);
-                return late;
-            });
-            if (active_.size() == before) {
-                // No adaptive task misses its own deadline, so the
-                // infeasibility is a *reservation* made late (e.g. a pinned
-                // task overrunning into a reserved window after a stall).
-                // Kill one adaptive occupant of each violated resource.
-                for (const ScheduleItem& item : items) {
-                    if (!item.reserved) continue;
-                    const auto completion = schedule.completion_of(item.uid);
-                    if (!completion || *completion <= item.abs_deadline + kTimeEps) continue;
-                    bool removed = false;
-                    std::erase_if(active_, [&](const ActiveTask& task) {
-                        if (removed || task.resource != item.resource) return false;
-                        removed = true;
-                        doomed.push_back(task.uid);
-                        return true;
-                    });
-                }
-                RMWP_ENSURE(active_.size() < before);
-            }
-            result_.aborted += before - active_.size();
-#ifdef RMWP_OBS
-            if (options_.sink != nullptr) {
-                for (const TaskUid uid : doomed) {
-                    options_.sink->emit(now, obs::EventKind::abort_overhead, uid);
-                    ins_.abort_overhead->add();
-                }
-            }
-#endif
-        }
-    }
-
-    /// When the task's real work is below its WCET budget, its completion
-    /// falls inside the planned segments: walk them (overhead first, then
-    /// work) to the actual finish instant.
-    [[nodiscard]] Time actual_completion(const ActiveTask& task, Time planned) const {
-        const double actual = actual_work(task.uid);
-        if (actual >= 1.0) return planned;
-        const TaskType& type = catalog_.type(task.type);
-        double work_left = std::max(0.0, actual - (1.0 - task.remaining_fraction)) *
-                           type.wcet(task.resource) * health_.throttle(task.resource);
-        double overhead_left = task.pending_overhead;
-        for (const Segment& segment : schedule_.segments_of(task.uid)) {
-            double duration = segment.duration();
-            const double overhead = std::min(overhead_left, duration);
-            overhead_left -= overhead;
-            duration -= overhead;
-            if (duration >= work_left - 1e-12) return segment.start + overhead + work_left;
-            work_left -= duration;
-        }
-        return planned;
-    }
-
-    /// Rebuild the execution schedule (real tasks on their current
-    /// resources) and refresh completion events under a new generation.
-    void rebuild(Time now) {
-        RMWP_TRACE(options_.sink, now, obs::EventKind::plan_rebuild, obs::kNoTask,
-                   obs::kNoResource, static_cast<double>(active_.size()));
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr) ins_.plan_rebuild->add();
-#endif
-#ifdef RMWP_AUDIT
-        schedule_ = plan_current(now, &audited_items_);
-        audited_now_ = now;
-        if (options_.audit) run_audit(audit_schedule());
-#else
-        schedule_ = plan_current(now);
-#endif
-        if (options_.validate) RMWP_ENSURE(schedule_.feasible);
-
-        events_.cancel_group(generation_);
-        ++generation_;
-        for (const ActiveTask& task : active_) {
-            const auto completion = schedule_.completion_of(task.uid);
-            RMWP_ENSURE(completion.has_value());
-            events_.schedule(actual_completion(task, *completion), kCompletionEvent, task.uid,
-                             generation_);
-        }
-    }
-
-#ifdef RMWP_AUDIT
-    /// Re-derive every invariant of the freshly rebuilt execution schedule:
-    /// the items against the live task states, and the timelines against
-    /// the items.  Valid only right after plan_current (states and items
-    /// agree at that instant).
-    [[nodiscard]] AuditReport audit_schedule() const {
-        AuditReport report = auditor_.audit_items(platform_, catalog_, audited_now_, active_,
-                                                  audited_items_, &health_);
-        report.merge(auditor_.audit_window(platform_, audited_now_, audited_items_, schedule_,
-                                           &health_));
-        return report;
-    }
-
-    /// Count the pass; surface any violation as an exception (the run is
-    /// unusable — some invariant of the paper's model was broken).
-    void run_audit(AuditReport report) {
-        ++result_.audit_checks;
-        if (!report.ok()) throw audit_error(report);
-    }
-#endif
-
-#ifdef RMWP_OBS
-    /// Register every instrument up front in a fixed order so the snapshot
-    /// layout is identical across runs regardless of which events occur.
-    /// Only called when a sink is attached.
-    void init_obs() {
-        obs::MetricsRegistry& m = options_.sink->metrics();
-        ins_.admit = &m.counter("admit");
-        for (std::size_t r = 0; r < kRejectReasonCount; ++r)
-            ins_.reject[r] =
-                &m.counter(std::string("reject.") + to_string(static_cast<RejectReason>(r)));
-        ins_.preempt = &m.counter("preempt");
-        ins_.migrate = &m.counter("migrate");
-        ins_.complete = &m.counter("complete");
-        ins_.abort_overhead = &m.counter("abort_overhead");
-        ins_.plan_rebuild = &m.counter("plan_rebuild");
-        ins_.rescue_activation = &m.counter("rescue.activation");
-        ins_.rescue_keep = &m.counter("rescue.keep");
-        ins_.rescue_abort = &m.counter("rescue.abort");
-        ins_.fault_onset = &m.counter("fault.onset");
-        ins_.fault_recovery = &m.counter("fault.recovery");
-        ins_.busy_time.resize(platform_.size());
-        for (ResourceId i = 0; i < platform_.size(); ++i)
-            ins_.busy_time[i] = &m.gauge("busy_time." + std::to_string(i));
-        ins_.plan_size = &m.histogram("plan_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
-        ins_.admission_latency_us =
-            &m.histogram("admission_latency_us",
-                         {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}, obs::MetricScope::host);
-    }
-#endif
-
-    const Platform& platform_;
-    const Catalog& catalog_;
-    const Trace& trace_;
-    ResourceManager& rm_;
-    Predictor& predictor_;
-    const ReservationTable* reservations_ = nullptr;
-    SimOptions options_;
-
-    std::vector<ActiveTask> active_;
-    /// Current resource health (all nominal unless faults are injected).
-    PlatformHealth health_;
-    WindowSchedule schedule_;
-    EventQueue events_;
-    Time clock_ = 0.0;
-    std::uint64_t generation_ = 1;
-    TraceResult result_;
-    Rng execution_rng_;
-    /// Hidden actual work per task (fraction of WCET); the RM never sees it.
-    std::unordered_map<TaskUid, double> actual_work_;
-    /// Periodic-activation state.
-    std::vector<std::size_t> pending_;
-    Time last_activation_scheduled_ = -1.0;
-
-#ifdef RMWP_OBS
-    Instruments ins_;
-#endif
-
-#ifdef RMWP_AUDIT
-    ScheduleAuditor auditor_;
-    /// The items the current execution schedule was built from, and the
-    /// build instant — kept so completions can re-audit the window.
-    std::vector<ScheduleItem> audited_items_;
-    Time audited_now_ = 0.0;
-#endif
-};
-
-} // namespace
 
 TraceResult simulate_trace(const Platform& platform, const Catalog& catalog, const Trace& trace,
                            ResourceManager& rm, Predictor& predictor, const SimOptions& options) {
-    Simulation simulation(platform, catalog, trace, rm, predictor, nullptr, options);
-    return simulation.run();
+    SimEngine engine(platform, catalog, rm, predictor, nullptr, options);
+    return engine.run(trace);
 }
 
 TraceResult simulate_trace(const Platform& platform, const Catalog& catalog, const Trace& trace,
                            ResourceManager& rm, Predictor& predictor,
                            const ReservationTable& reservations, const SimOptions& options) {
-    Simulation simulation(platform, catalog, trace, rm, predictor, &reservations, options);
-    return simulation.run();
+    SimEngine engine(platform, catalog, rm, predictor, &reservations, options);
+    return engine.run(trace);
 }
 
 } // namespace rmwp

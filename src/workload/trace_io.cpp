@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -96,6 +98,65 @@ Trace read_trace_csv(std::istream& is) {
         requests.push_back(r);
     }
     return Trace(std::move(requests));
+}
+
+TraceCsvStream::TraceCsvStream(std::istream& is, std::function<void(const std::string&)> warn)
+    : is_(is), warn_(std::move(warn)) {
+    if (!warn_)
+        warn_ = [](const std::string& message) { std::cerr << message << '\n'; };
+}
+
+std::optional<Request> TraceCsvStream::next() {
+    std::string line;
+    if (!header_checked_) {
+        if (!std::getline(is_, line) || line != "arrival,type,relative_deadline")
+            throw std::runtime_error(
+                "trace CSV: missing or wrong header (expected \"arrival,type,relative_deadline\")");
+        header_checked_ = true;
+        line_number_ = 1;
+    }
+
+    const auto skip = [this](const std::string& what, const std::string& bad_line) {
+        ++parse_errors_;
+        warn_("trace CSV line " + std::to_string(line_number_) + ": " + what + " — skipped (line: \"" +
+              bad_line + "\")");
+    };
+
+    while (std::getline(is_, line)) {
+        ++line_number_;
+        if (line.empty()) continue;
+        const auto fields = split_csv_line(line);
+        if (fields.size() != 3) {
+            skip("expected 3 fields", line);
+            continue;
+        }
+        Request r;
+        try {
+            r.arrival = parse_value(fields[0]);
+            r.type = static_cast<TaskTypeId>(std::stoull(fields[1]));
+            r.relative_deadline = parse_value(fields[2]);
+        } catch (const std::exception&) {
+            skip("unparseable field", line);
+            continue;
+        }
+        if (!std::isfinite(r.arrival) || r.arrival < 0.0) {
+            skip("arrival must be finite and non-negative", line);
+            continue;
+        }
+        if (!std::isfinite(r.relative_deadline) || r.relative_deadline <= 0.0) {
+            skip("relative_deadline must be finite and positive", line);
+            continue;
+        }
+        if (have_last_arrival_ && r.arrival < last_arrival_) {
+            skip("arrivals must be non-decreasing", line);
+            continue;
+        }
+        last_arrival_ = r.arrival;
+        have_last_arrival_ = true;
+        ++delivered_;
+        return r;
+    }
+    return std::nullopt;
 }
 
 void validate_trace(const Trace& trace, const Catalog& catalog) {

@@ -9,7 +9,10 @@
 // Non-executable (type, resource) pairs are written as "inf".
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "workload/catalog.hpp"
@@ -30,6 +33,48 @@ void validate_trace(const Trace& trace, const Catalog& catalog);
 
 void write_trace_csv_file(const std::string& path, const Trace& trace);
 [[nodiscard]] Trace read_trace_csv_file(const std::string& path);
+
+/// Incremental trace-CSV reader for long-running services (DESIGN.md §11).
+///
+/// Unlike read_trace_csv — which validates a whole file up front and throws
+/// on the first defect — a live service must outlast a corrupted producer:
+/// a malformed mid-stream line (wrong field count, unparseable number,
+/// non-finite/negative time, or an arrival that runs backwards) is *skipped*
+/// with a line-numbered warning and counted in parse_errors(), and the
+/// stream keeps delivering the well-formed remainder.  Only a missing or
+/// wrong header is fatal (the input is not a trace CSV at all).
+///
+/// The reader holds one line of the input at a time — memory is O(1) in the
+/// stream length.
+class TraceCsvStream {
+public:
+    /// `warn` receives one human-readable message per skipped line; the
+    /// default writes to stderr.  The header line is consumed (and checked)
+    /// by the first next() call.
+    explicit TraceCsvStream(std::istream& is,
+                            std::function<void(const std::string&)> warn = {});
+
+    /// The next well-formed request, or nullopt at end of stream.  Throws
+    /// std::runtime_error only for a missing/wrong header.
+    [[nodiscard]] std::optional<Request> next();
+
+    /// Malformed lines skipped so far.
+    [[nodiscard]] std::uint64_t parse_errors() const noexcept { return parse_errors_; }
+    /// Well-formed requests delivered so far.
+    [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+    /// 1-based number of the last line read.
+    [[nodiscard]] std::uint64_t line_number() const noexcept { return line_number_; }
+
+private:
+    std::istream& is_;
+    std::function<void(const std::string&)> warn_;
+    std::uint64_t parse_errors_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t line_number_ = 0;
+    Time last_arrival_ = 0.0;
+    bool header_checked_ = false;
+    bool have_last_arrival_ = false;
+};
 
 void write_catalog_csv(std::ostream& os, const Catalog& catalog);
 [[nodiscard]] Catalog read_catalog_csv(std::istream& is);

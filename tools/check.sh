@@ -37,4 +37,20 @@ else
     UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
         ctest --test-dir "$build_dir" --output-on-failure \
             -j "$(nproc 2>/dev/null || echo 4)" "$@"
+
+    # Serve-mode smoke under the same sanitizers: synthetic arrivals with
+    # faults, shedding, checkpointing, and the runtime monitor all active.
+    soak_dir=$(mktemp -d)
+    "$build_dir/tools/rmwp_cli" generate-catalog --out "$soak_dir/catalog.csv" --seed 42 \
+        >/dev/null
+    ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        "$build_dir/tools/rmwp_cli" serve --catalog "$soak_dir/catalog.csv" \
+            --arrivals 20000 --rm heuristic --predictor online \
+            --fault-outage-rate 0.3 --fault-throttle-rate 0.2 \
+            --decision-cost 0.5 --max-pending 8 \
+            --checkpoint "$soak_dir/ckpt.txt" --checkpoint-every 10000 \
+            --monitor-period 0.05 --rss-budget-mb 2048 >/dev/null
+    rm -rf "$soak_dir"
+    echo "serve soak smoke: OK"
 fi

@@ -39,6 +39,43 @@
 //
 //   rmwp_cli analyze          --trace trace.csv [--catalog catalog.csv]
 //
+//   rmwp_cli serve            --catalog catalog.csv
+//                             [--trace trace.csv|-]   (CSV file, or "-" for
+//                                                      stdin; omitted = the
+//                                                      endless synthetic
+//                                                      generator)
+//                             [--arrivals N]    (stop after N consumed; 0 =
+//                                                source-driven / endless)
+//                             [--duration T]    (stop at the first arrival
+//                                                past T sim-ms)
+//                             [--source-seed S] [--ia-mean 6] [--ia-stddev 2]
+//                             [--group VT|LT]   (synthetic source knobs)
+//                             [--rm ...] [--predictor off|online]
+//                             [--overhead 0] [--lookahead 1] [--seed 42]
+//                             [--exec-factor 1.0]
+//                             [--decision-cost 0]  (sim-time per admission
+//                                                   decision; the decider
+//                                                   serialises requests)
+//                             [--max-pending 0]    (backlog bound; arrivals
+//                                                   beyond it are shed; 0 =
+//                                                   unbounded)
+//                             [--window T]         (one stats line per T
+//                                                   sim-ms window, to stderr)
+//                             [--checkpoint path] [--checkpoint-every N]
+//                             [--restore path]     (resume from a snapshot)
+//                             [--fault-outage-rate 0] [--fault-outage-duration 40]
+//                             [--fault-throttle-rate 0] [--fault-throttle-duration 60]
+//                             [--fault-throttle-factor 2] [--fault-min-online 1]
+//                             [--fault-seed <seed>] [--fault-chunk 10000]
+//                             (permanent faults are unsupported: the horizon
+//                              is unbounded)
+//                             [--monitor 1] [--monitor-period 0.5]
+//                             [--rss-budget-mb 0] [--active-budget 0]
+//                             [--latency-budget-us 0] [--expect-no-misses auto]
+//                             [--stats-json out.json] [--events-out out.jsonl]
+//                             Exit: 0 clean drain (incl. SIGTERM/SIGINT),
+//                             3 invariant violation.
+//
 //   rmwp_cli experiment       [--group VT|LT] [--traces 50] [--requests 500]
 //                             [--seed 42]
 //                             [--rm heuristic|exact|milp|baseline|all]
@@ -76,6 +113,7 @@
 #include "core/heuristic_rm.hpp"
 #include "core/milp_rm.hpp"
 #include "predict/predictor.hpp"
+#include "serve/serve.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -395,6 +433,187 @@ int cmd_run(Args& args) {
     return 0;
 }
 
+int cmd_serve(Args& args) {
+    const std::string catalog_path = args.require("catalog");
+    const Platform platform = make_cli_platform(args);
+
+    const std::string rm_name = args.get("rm").value_or("heuristic");
+    std::unique_ptr<ResourceManager> rm;
+    if (rm_name == "heuristic") rm = std::make_unique<HeuristicRM>();
+    else if (rm_name == "exact") rm = std::make_unique<ExactRM>();
+    else if (rm_name == "milp") rm = std::make_unique<MilpRM>();
+    else if (rm_name == "baseline") rm = std::make_unique<BaselineRM>();
+    else throw std::runtime_error("--rm must be heuristic, exact, milp, or baseline");
+
+    PredictorSpec spec;
+    const std::string predictor_name = args.get("predictor").value_or("off");
+    if (predictor_name == "off") spec.kind = PredictorSpec::Kind::none;
+    else if (predictor_name == "online") spec.kind = PredictorSpec::Kind::online;
+    else
+        throw std::runtime_error("serve supports --predictor off or online (oracle and noisy "
+                                 "need the whole trace up front)");
+    spec.overhead = args.number("overhead", 0.0);
+    spec.lookahead = static_cast<std::size_t>(args.integer("lookahead", 1));
+    const std::uint64_t seed = args.integer("seed", 42);
+
+    const Catalog catalog = read_catalog_csv_file(catalog_path);
+    if (catalog.resource_count() != platform.size())
+        throw std::runtime_error("catalog resource count does not match --cpus/--gpus");
+
+    // --- arrival source ---
+    const std::optional<std::string> trace_path = args.get("trace");
+    std::unique_ptr<ArrivalSource> source;
+    std::string source_digest;
+    if (trace_path) {
+        if (*trace_path == "-") source = std::make_unique<CsvPipeSource>(std::cin);
+        else source = std::make_unique<CsvFileSource>(*trace_path);
+        source_digest = "src=trace:" + *trace_path;
+    } else {
+        SyntheticSourceParams sp;
+        sp.seed = args.integer("source-seed", seed);
+        sp.interarrival_mean = args.number("ia-mean", sp.interarrival_mean);
+        sp.interarrival_stddev = args.number("ia-stddev", sp.interarrival_stddev);
+        if (auto group = args.get("group")) {
+            if (*group == "VT") sp.group = DeadlineGroup::very_tight;
+            else if (*group == "LT") sp.group = DeadlineGroup::less_tight;
+            else throw std::runtime_error("--group must be VT or LT");
+        }
+        source = std::make_unique<SyntheticArrivalSource>(catalog, sp);
+        source_digest = "src=soak:" + std::to_string(sp.seed) + ":" +
+                        std::to_string(sp.interarrival_mean) + ":" +
+                        std::to_string(sp.interarrival_stddev) + ":" + to_string(sp.group);
+    }
+
+    ServeConfig config;
+    config.sim.lookahead = spec.lookahead;
+    config.sim.execution_time_factor_min = args.number("exec-factor", 1.0);
+    config.sim.execution_seed = seed;
+    config.decision_cost = args.number("decision-cost", 0.0);
+    config.max_pending = static_cast<std::size_t>(args.integer("max-pending", 0));
+    config.max_arrivals = args.integer("arrivals", 0);
+    config.max_sim_time = args.number("duration", 0.0);
+    config.config_digest = source_digest;
+
+    config.faults.outage_rate = args.number("fault-outage-rate", 0.0);
+    config.faults.outage_duration_mean =
+        args.number("fault-outage-duration", config.faults.outage_duration_mean);
+    config.faults.throttle_rate = args.number("fault-throttle-rate", 0.0);
+    config.faults.throttle_duration_mean =
+        args.number("fault-throttle-duration", config.faults.throttle_duration_mean);
+    if (auto factor = args.get("fault-throttle-factor")) {
+        config.faults.throttle_factor_min = config.faults.throttle_factor_max =
+            std::stod(*factor);
+    }
+    config.faults.min_online = static_cast<std::size_t>(args.integer("fault-min-online", 1));
+    config.fault_seed = args.integer("fault-seed", seed);
+    config.fault_chunk = args.number("fault-chunk", config.fault_chunk);
+    if (config.faults.outage_rate < 0.0 || config.faults.throttle_rate < 0.0 ||
+        config.faults.outage_duration_mean <= 0.0 || config.faults.throttle_duration_mean <= 0.0)
+        throw std::runtime_error("fault rates must be >= 0 and durations > 0");
+    if (config.faults.throttle_factor_min < 1.0)
+        throw std::runtime_error("--fault-throttle-factor must be >= 1 (it multiplies WCET)");
+
+    config.checkpoint_path = args.get("checkpoint").value_or("");
+    config.checkpoint_every = args.integer("checkpoint-every", 0);
+    config.restore_path = args.get("restore").value_or("");
+    if (!config.checkpoint_path.empty() && config.checkpoint_every == 0)
+        config.checkpoint_every = 100000;
+
+    config.monitor = args.integer("monitor", 1) != 0;
+    config.monitor_period_seconds = args.number("monitor-period", 0.5);
+    config.limits.rss_budget_kb = args.integer("rss-budget-mb", 0) * 1024;
+    config.limits.active_budget = args.integer("active-budget", 0);
+    config.limits.latency_p99_budget_us = args.number("latency-budget-us", 0.0);
+    config.limits.expect_no_misses =
+        args.integer("expect-no-misses", config.faults.any() ? 0 : 1) != 0;
+    config.window = args.number("window", 0.0);
+    config.chaos_fake_miss_at = args.integer("chaos-fake-miss-at", 0);
+
+    const std::optional<std::string> stats_json = args.get("stats-json");
+    const std::optional<std::string> events_out = args.get("events-out");
+    args.reject_unknown();
+
+    obs::TraceSink sink;
+    if (events_out) {
+        require_obs_build();
+        config.sim.sink = &sink;
+        config.limits.ring_capacity = sink.capacity();
+    }
+
+    const std::unique_ptr<Predictor> predictor = make_predictor(spec, catalog, Rng(seed));
+
+    install_serve_signal_handlers();
+    const ServeResult serve =
+        run_serve(platform, catalog, *rm, *predictor, nullptr, *source, config);
+    const TraceResult& result = serve.result;
+
+    Table table({"metric", "value"});
+    table.row().cell("arrivals consumed").cell(serve.arrivals);
+    table.row().cell("accepted").cell(result.accepted);
+    table.row().cell("rejected").cell(result.rejected);
+    table.row().cell("shed (overload)").cell(serve.shed);
+    table.row().cell("completed").cell(result.completed);
+    table.row().cell("deadline misses").cell(result.deadline_misses);
+    table.row().cell("parse errors skipped").cell(serve.parse_errors);
+    table.row().cell("energy (J)").cell(result.total_energy, 1);
+    table.row().cell("normalized energy").cell(result.normalized_energy(), 4);
+    table.row().cell("decisions/sec (wall)").cell(
+        serve.wall_seconds > 0.0
+            ? static_cast<double>(result.requests) / serve.wall_seconds
+            : 0.0,
+        0);
+    table.row().cell("latency p50/p99 (us)").cell(
+        format_fixed(serve.latency_p50_us, 0) + " / " + format_fixed(serve.latency_p99_us, 0));
+    table.row().cell("monitor checks").cell(serve.monitor_checks);
+    table.row().cell("checkpoints written").cell(serve.checkpoints_written);
+    if (serve.stopped_by_signal) table.row().cell("stopped by").cell("signal (drained)");
+    table.print(std::cout);
+    if (serve.exit_code != 0)
+        std::cerr << "serve: invariant violation\n" << serve.violation << '\n';
+
+    if (stats_json) {
+        std::ofstream out(*stats_json);
+        if (!out) throw std::runtime_error("cannot open " + *stats_json);
+        out << "{\n"
+            << "  \"arrivals\": " << serve.arrivals << ",\n"
+            << "  \"accepted\": " << result.accepted << ",\n"
+            << "  \"rejected\": " << result.rejected << ",\n"
+            << "  \"shed\": " << serve.shed << ",\n"
+            << "  \"completed\": " << result.completed << ",\n"
+            << "  \"deadline_misses\": " << result.deadline_misses << ",\n"
+            << "  \"parse_errors\": " << serve.parse_errors << ",\n"
+            << "  \"total_energy\": " << result.total_energy << ",\n"
+            << "  \"wall_seconds\": " << serve.wall_seconds << ",\n"
+            << "  \"decisions_per_second\": "
+            << (serve.wall_seconds > 0.0
+                    ? static_cast<double>(result.requests) / serve.wall_seconds
+                    : 0.0)
+            << ",\n"
+            << "  \"latency_p50_us\": " << serve.latency_p50_us << ",\n"
+            << "  \"latency_p99_us\": " << serve.latency_p99_us << ",\n"
+            << "  \"monitor_checks\": " << serve.monitor_checks << ",\n"
+            << "  \"checkpoints_written\": " << serve.checkpoints_written << ",\n"
+            << "  \"stopped_by_signal\": " << (serve.stopped_by_signal ? "true" : "false")
+            << ",\n"
+            << "  \"exit_code\": " << serve.exit_code << "\n"
+            << "}\n";
+        std::cout << "wrote serve stats to " << *stats_json << '\n';
+    }
+    if (events_out) {
+        obs::ExportOptions export_options;
+        export_options.resource_names.reserve(platform.size());
+        for (ResourceId i = 0; i < platform.size(); ++i)
+            export_options.resource_names.push_back(platform.resource(i).name());
+        const std::vector<obs::TraceEvent> events = sink.events();
+        std::ofstream out(*events_out);
+        if (!out) throw std::runtime_error("cannot open " + *events_out);
+        obs::write_events_jsonl(out, events, export_options);
+        std::cout << "wrote " << events.size() << " JSONL events (" << sink.dropped()
+                  << " dropped) to " << *events_out << '\n';
+    }
+    return serve.exit_code;
+}
+
 int cmd_experiment(Args& args) {
     DeadlineGroup group = DeadlineGroup::very_tight;
     if (auto value = args.get("group")) {
@@ -517,7 +736,7 @@ int cmd_analyze(Args& args) {
 }
 
 void usage() {
-    std::cerr << "usage: rmwp_cli <generate-catalog|generate-trace|run|analyze|experiment>"
+    std::cerr << "usage: rmwp_cli <generate-catalog|generate-trace|run|serve|analyze|experiment>"
                  " --key value ...\n"
                  "see the header of tools/rmwp_cli.cpp for the full option list\n";
 }
@@ -535,6 +754,7 @@ int main(int argc, char** argv) {
         if (command == "generate-catalog") return cmd_generate_catalog(args);
         if (command == "generate-trace") return cmd_generate_trace(args);
         if (command == "run") return cmd_run(args);
+        if (command == "serve") return cmd_serve(args);
         if (command == "analyze") return cmd_analyze(args);
         if (command == "experiment") return cmd_experiment(args);
         usage();
