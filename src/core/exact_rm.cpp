@@ -78,6 +78,8 @@ struct Search {
 std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
                                                  const Options& options, bool* proven_out) {
     const std::size_t count = instance.tasks.size();
+    RMWP_EXPECT(instance.platform != nullptr);
+    RMWP_EXPECT(instance.blocks.size() == instance.platform->size());
 
     Search search;
     search.instance = &instance;
@@ -112,6 +114,7 @@ std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
 
     if (proven_out != nullptr) *proven_out = search.proven;
     if (search.best.empty()) return std::nullopt;
+    RMWP_ENSURE(search.best.size() == count);
     Result result;
     result.mapping = std::move(search.best);
     result.energy = search.best_cost;
@@ -136,10 +139,13 @@ Decision ExactRM::decide(const ArrivalContext& context) {
         });
     if (!decision.admitted)
         decision.reason = proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
+    RMWP_ENSURE(decision.admitted || decision.reason == RejectReason::proved_infeasible ||
+                decision.reason == RejectReason::solver_infeasible);
     return decision;
 }
 
 RescueDecision ExactRM::rescue(const RescueContext& context) {
+    RMWP_EXPECT(context.platform != nullptr && context.health != nullptr);
     Options rescue_options = options_;
     rescue_options.node_limit = std::min(options_.node_limit, options_.rescue_node_limit);
     return run_rescue_ladder(

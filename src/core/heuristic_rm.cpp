@@ -163,6 +163,7 @@ Decision HeuristicRM::decide(const ArrivalContext& context) {
     // Algorithm 1 is incomplete: a rejection means the regret-driven search
     // was exhausted, not that no schedulable mapping exists (Sec 5.2).
     if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
+    RMWP_ENSURE(decision.admitted || decision.reason == RejectReason::heuristic_exhausted);
     return decision;
 }
 

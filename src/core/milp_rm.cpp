@@ -321,6 +321,7 @@ std::optional<MilpRM::Result> MilpRM::optimize(const PlanInstance& instance,
 }
 
 RescueDecision MilpRM::rescue(const RescueContext& context) {
+    RMWP_EXPECT(context.platform != nullptr && context.health != nullptr);
     // Same applicability limits as decide(): the literal Sec 4.2 encoding
     // has no reserved windows or DVFS operating points.
     return run_rescue_ladder(

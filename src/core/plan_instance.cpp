@@ -197,6 +197,7 @@ ScheduleItem PlanInstance::item_for(std::size_t index, ResourceId i) const {
 void PlanScratch::reset(const PlanInstance& instance) {
     const std::size_t n = instance.resource_count();
     const std::size_t count = instance.tasks.size();
+    RMWP_EXPECT(instance.blocks.size() == n);
     constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
     capacity.assign(n, 0.0);

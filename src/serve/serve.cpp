@@ -278,8 +278,10 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
     const auto flush_one = [&] {
         const PendingArrival pending = backlog.front();
         backlog.pop_front();
+        // RMWP_LINT_ALLOW(R1): host-scope admission-latency metric; never feeds sim state
         const auto begun = std::chrono::steady_clock::now();
         engine.stream_arrival(pending.request, pending.uid, pending.wake);
+        // RMWP_LINT_ALLOW(R1): host-scope admission-latency metric; never feeds sim state
         const auto ended = std::chrono::steady_clock::now();
         board.latency.record(
             std::chrono::duration<double, std::micro>(ended - begun).count());
@@ -348,6 +350,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
     };
 
     // --- main loop ---
+    // RMWP_LINT_ALLOW(R1): wall_seconds reporting only, excluded from determinism checks
     const auto wall_begin = std::chrono::steady_clock::now();
     ServeResult out;
     bool stopped_by_signal = false;
@@ -418,6 +421,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
     out.monitor_checks = monitor.checks();
     out.windows_emitted = windows_emitted;
     out.stopped_by_signal = stopped_by_signal;
+    // RMWP_LINT_ALLOW(R1): wall_seconds reporting only, excluded from determinism checks
     out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                      wall_begin)
                            .count();

@@ -1,0 +1,191 @@
+// Tests for rmwp-analyze (tools/analyze, DESIGN.md §12).  Each rule R1–R5
+// has a fixture with a seeded violation asserted at its exact file:line,
+// a clean fixture asserts silence, a waived fixture asserts the waiver
+// escape hatch (RMWP_LINT_ALLOW) is honored *and* counted, and the whole
+// source tree must analyze clean — the same gate CI runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace fs = std::filesystem;
+using rmwp::analyze::analyze;
+using rmwp::analyze::Finding;
+using rmwp::analyze::Options;
+using rmwp::analyze::Report;
+
+namespace {
+
+std::string fixture(const std::string& relative) {
+    return std::string(RMWP_ANALYZE_FIXTURES) + "/" + relative;
+}
+
+Report analyze_files(std::vector<std::string> paths) {
+    Options options;
+    options.paths = std::move(paths);
+    return analyze(options);
+}
+
+/// The diagnostics, rendered `file:line: [R#] message`, unwaived only.
+std::vector<std::string> diagnostics(const Report& report) {
+    std::vector<std::string> out;
+    for (const Finding& finding : report.findings)
+        if (!finding.waived) out.push_back(rmwp::analyze::render(finding));
+    return out;
+}
+
+bool has_diagnostic(const Report& report, const std::string& file, int line,
+                    const std::string& rule) {
+    const std::string needle = file + ":" + std::to_string(line) + ": [" + rule + "]";
+    const std::vector<std::string> rendered = diagnostics(report);
+    return std::any_of(rendered.begin(), rendered.end(),
+                       [&](const std::string& d) { return d.find(needle) == 0; });
+}
+
+} // namespace
+
+TEST(AnalyzeCanonicalPath, FindsLastAreaMarker) {
+    EXPECT_EQ(rmwp::analyze::canonical_path("/root/repo/src/core/edf.cpp"), "src/core/edf.cpp");
+    EXPECT_EQ(rmwp::analyze::canonical_path("tools/analyze/fixtures/src/sim/a.cpp"),
+              "src/sim/a.cpp");
+    EXPECT_EQ(rmwp::analyze::canonical_path("bench/bench_json.hpp"), "bench/bench_json.hpp");
+    EXPECT_EQ(rmwp::analyze::canonical_path("/elsewhere/file.cpp"), "");
+}
+
+TEST(AnalyzeR1, WallClockFiresAtExactLine) {
+    const std::string file = fixture("src/core/r1_clock.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 1u);
+    EXPECT_EQ(diagnostics(report)[0],
+              file + ":7: [R1] wall-clock read 'steady_clock' outside the host-time allowlist");
+}
+
+TEST(AnalyzeR2, EntropyFiresPerSourceAtExactLines) {
+    const std::string file = fixture("src/sim/r2_entropy.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 3u);
+    EXPECT_TRUE(has_diagnostic(report, file, 8, "R2"));  // random_device
+    EXPECT_TRUE(has_diagnostic(report, file, 10, "R2")); // rand()
+    EXPECT_TRUE(has_diagnostic(report, file, 11, "R2")); // getenv
+}
+
+TEST(AnalyzeR3, RangeForAndIteratorLoopOverHashedContainersFire) {
+    const std::string file = fixture("src/sim/r3_unordered.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 2u);
+    EXPECT_TRUE(has_diagnostic(report, file, 14, "R3")); // range-for over .work
+    EXPECT_TRUE(has_diagnostic(report, file, 15, "R3")); // iterator loop over .members
+}
+
+TEST(AnalyzeR3, MemberDeclaredInHeaderIteratedInSiblingCpp) {
+    const std::string hpp = fixture("src/sim/r3_member.hpp");
+    const std::string cpp = fixture("src/sim/r3_member.cpp");
+    // Alone, the .cpp does not know balances_ is hashed; with the header in
+    // the same scan (as in CI) the cross-file pass catches the iteration.
+    EXPECT_EQ(analyze_files({cpp}).unwaived(), 0u);
+    const Report report = analyze_files({hpp, cpp});
+    ASSERT_EQ(report.unwaived(), 1u);
+    EXPECT_TRUE(has_diagnostic(report, cpp, 8, "R3"));
+}
+
+TEST(AnalyzeR4, LayeringViolationsFireOnlyForForbiddenEdges) {
+    const std::string file = fixture("src/core/r4_layering.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 2u);
+    EXPECT_TRUE(has_diagnostic(report, file, 2, "R4")); // core -> obs
+    EXPECT_TRUE(has_diagnostic(report, file, 3, "R4")); // core -> serve
+    // line 4 (core -> util) is a DAG edge and must stay silent.
+    EXPECT_FALSE(has_diagnostic(report, file, 4, "R4"));
+}
+
+TEST(AnalyzeR5, UncontractedMutatorFiresContractedAndConstDoNot) {
+    const std::string file = fixture("src/core/r5_contract.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 1u);
+    EXPECT_TRUE(has_diagnostic(report, file, 14, "R5")); // bump: no contract
+    const std::string message = diagnostics(report)[0];
+    EXPECT_NE(message.find("FixtureCounter::bump"), std::string::npos);
+}
+
+TEST(AnalyzeClean, CleanFixtureProducesNoFindings) {
+    const Report report = analyze_files({fixture("src/core/clean.cpp")});
+    EXPECT_EQ(report.findings.size(), 0u);
+    EXPECT_EQ(report.unwaived(), 0u);
+}
+
+TEST(AnalyzeWaivers, WaiversAreHonoredAndCounted) {
+    const Report report = analyze_files({fixture("src/core/waived.cpp")});
+    // Both clock reads are found but waived — one own-line, one trailing.
+    EXPECT_EQ(report.findings.size(), 2u);
+    EXPECT_EQ(report.unwaived(), 0u);
+    ASSERT_EQ(report.waivers.size(), 2u);
+    for (const auto& waiver : report.waivers) {
+        EXPECT_TRUE(waiver.used);
+        EXPECT_EQ(waiver.rules, "R1");
+        EXPECT_FALSE(waiver.reason.empty());
+    }
+    for (const Finding& finding : report.findings) {
+        EXPECT_TRUE(finding.waived);
+        EXPECT_FALSE(finding.waiver_reason.empty());
+    }
+}
+
+TEST(AnalyzeWaivers, StaleAndMalformedWaiversAreR0Findings) {
+    const std::string file = fixture("src/core/stale_waiver.cpp");
+    const Report report = analyze_files({file});
+    ASSERT_EQ(report.unwaived(), 2u);
+    EXPECT_TRUE(has_diagnostic(report, file, 5, "R0")); // unused waiver
+    EXPECT_TRUE(has_diagnostic(report, file, 8, "R0")); // malformed waiver
+}
+
+TEST(AnalyzeAcceptance, InsertingSteadyClockIntoEdfCppFails) {
+    // The acceptance probe from ISSUE 7: the real src/core/edf.cpp is clean
+    // today, and a deliberately inserted steady_clock read must fail the
+    // gate at exactly the inserted line.
+    const std::string original = std::string(RMWP_ANALYZE_SOURCE_ROOT) + "/src/core/edf.cpp";
+    EXPECT_EQ(analyze_files({original}).unwaived(), 0u);
+
+    std::ifstream in(original);
+    ASSERT_TRUE(in);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    int lines = 0;
+    for (const char c : buffer.str())
+        if (c == '\n') ++lines;
+
+    const fs::path dir = fs::temp_directory_path() / "rmwp_analyze_probe" / "src" / "core";
+    fs::create_directories(dir);
+    const fs::path probe = dir / "edf.cpp";
+    {
+        std::ofstream out(probe);
+        out << buffer.str()
+            << "namespace rmwp { void lint_probe() { (void)std::chrono::steady_clock::now(); } }\n";
+    }
+    const Report report = analyze_files({probe.string()});
+    ASSERT_EQ(report.unwaived(), 1u);
+    EXPECT_TRUE(has_diagnostic(report, probe.string(), lines + 1, "R1"));
+    fs::remove_all(fs::temp_directory_path() / "rmwp_analyze_probe");
+}
+
+TEST(AnalyzeAcceptance, WholeTreeIsCleanUnderTheCurrentWaiverInventory) {
+    const std::string root = RMWP_ANALYZE_SOURCE_ROOT;
+    const Report report =
+        analyze_files({root + "/src", root + "/bench", root + "/tests", root + "/tools"});
+    for (const std::string& diagnostic : diagnostics(report))
+        ADD_FAILURE() << diagnostic;
+    EXPECT_EQ(report.unwaived(), 0u);
+    EXPECT_GT(report.files_scanned, 100u);
+    // Every waiver in the inventory carries a written reason and suppresses
+    // a live finding.
+    EXPECT_FALSE(report.waivers.empty());
+    for (const auto& waiver : report.waivers) {
+        EXPECT_TRUE(waiver.used) << waiver.path << ":" << waiver.line;
+        EXPECT_FALSE(waiver.reason.empty()) << waiver.path << ":" << waiver.line;
+    }
+}

@@ -85,6 +85,7 @@ TEST(ParallelFor, MoreJobsThanIndices) {
 class ScopedEnv {
 public:
     ScopedEnv(const char* name, const char* value) : name_(name) {
+        // RMWP_LINT_ALLOW(R2): saves/restores RMWP_JOBS around a test, not a seed source
         const char* old = std::getenv(name);
         if (old != nullptr) previous_ = old;
         ::setenv(name, value, 1);

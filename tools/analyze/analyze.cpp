@@ -1,0 +1,511 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rmwp::analyze {
+namespace {
+
+const std::set<std::string>& area_markers() {
+    static const std::set<std::string> markers = {"src", "bench", "tests", "tools", "examples"};
+    return markers;
+}
+
+std::vector<std::string> path_components(const std::string& path) {
+    std::vector<std::string> out;
+    for (const auto& part : fs::path(path))
+        if (part != "/" && !part.empty()) out.push_back(part.string());
+    return out;
+}
+
+/// Everything the per-file checks need to know about one file.
+struct FileScan {
+    std::string path;      ///< as given by the caller
+    std::string canonical; ///< from the last area marker: "src/core/edf.cpp"
+    std::string area;      ///< "src", "bench", "tests", "tools", "examples"
+    std::string module;    ///< second canonical component when area == "src"
+    LexResult lex;
+};
+
+bool is_ident(const Token& token, const char* text) {
+    return token.kind == TokenKind::identifier && token.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// R3 support: names declared with an unordered container type.
+
+/// Skip a balanced template argument list; `i` points at '<'.  Returns the
+/// index just past the matching '>', or `tokens.size()` when unbalanced.
+std::size_t skip_template_args(const std::vector<Token>& tokens, std::size_t i) {
+    int depth = 0;
+    for (; i < tokens.size(); ++i) {
+        if (tokens[i].text == "<") ++depth;
+        if (tokens[i].text == ">" && --depth == 0) return i + 1;
+        if (tokens[i].text == ";") break; // not a template arg list after all
+    }
+    return tokens.size();
+}
+
+/// Collect declarator names of `std::unordered_map</...>` / `unordered_set`
+/// variables, members, and parameters.  Purely syntactic: the name right
+/// after the closing '>' (and any */&/const) is taken unless it opens a
+/// function or names a nested type.
+void collect_unordered_names(const std::vector<Token>& tokens, std::set<std::string>& names) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!is_ident(tokens[i], "unordered_map") && !is_ident(tokens[i], "unordered_set"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= tokens.size() || tokens[j].text != "<") continue;
+        j = skip_template_args(tokens, j);
+        while (j < tokens.size() &&
+               (tokens[j].text == "*" || tokens[j].text == "&" || is_ident(tokens[j], "const")))
+            ++j;
+        if (j >= tokens.size() || tokens[j].kind != TokenKind::identifier) continue;
+        if (tokens[j].text == "iterator" || tokens[j].text == "const_iterator") continue;
+        if (j + 1 < tokens.size() &&
+            (tokens[j + 1].text == "(" || tokens[j + 1].text == "::"))
+            continue; // function returning one, or nested-type usage
+        names.insert(tokens[j].text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file checks.  Each appends raw findings; waiver resolution runs later.
+
+void check_clocks(const FileScan& scan, std::vector<Finding>& findings) {
+    if (allowlisted("R1", scan.canonical)) return;
+    const auto& tokens = scan.lex.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        if (token.kind != TokenKind::identifier) continue;
+        if (clock_identifiers().contains(token.text)) {
+            findings.push_back({scan.path, token.line, "R1",
+                                "wall-clock read '" + token.text +
+                                    "' outside the host-time allowlist", false, {}});
+            continue;
+        }
+        // std::time(...) / ::time(...) — bare `time` is a common variable
+        // name in a simulator, so require the qualification.
+        if (token.text == "time" && i >= 1 && tokens[i - 1].text == "::" &&
+            i + 1 < tokens.size() && tokens[i + 1].text == "(" &&
+            (i < 2 || tokens[i - 2].kind != TokenKind::identifier ||
+             tokens[i - 2].text == "std")) {
+            findings.push_back({scan.path, token.line, "R1",
+                                "wall-clock read 'std::time' outside the host-time allowlist",
+                                false, {}});
+        }
+    }
+}
+
+void check_entropy(const FileScan& scan, std::vector<Finding>& findings) {
+    if (allowlisted("R2", scan.canonical)) return;
+    const auto& tokens = scan.lex.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        if (token.kind != TokenKind::identifier) continue;
+        if (entropy_identifiers().contains(token.text)) {
+            findings.push_back({scan.path, token.line, "R2",
+                                "ambient entropy '" + token.text +
+                                    "' outside seed plumbing", false, {}});
+            continue;
+        }
+        if (token.text == "rand" && i + 1 < tokens.size() && tokens[i + 1].text == "(" &&
+            (i == 0 || (tokens[i - 1].text != "->" && tokens[i - 1].text != "."))) {
+            findings.push_back({scan.path, token.line, "R2",
+                                "ambient entropy 'rand()' outside seed plumbing", false, {}});
+        }
+    }
+}
+
+void check_unordered_iteration(const FileScan& scan, const std::set<std::string>& global_names,
+                               std::vector<Finding>& findings) {
+    if (scan.area != "src" || !deterministic_modules().contains(scan.module)) return;
+    std::set<std::string> names = global_names;
+    collect_unordered_names(scan.lex.tokens, names);
+    if (names.empty()) return;
+
+    const auto& tokens = scan.lex.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (!is_ident(tokens[i], "for") || tokens[i + 1].text != "(") continue;
+        // Bound the for-header: tokens between '(' and its matching ')'.
+        int depth = 0;
+        std::size_t close = i + 1;
+        for (; close < tokens.size(); ++close) {
+            if (tokens[close].text == "(") ++depth;
+            if (tokens[close].text == ")" && --depth == 0) break;
+        }
+        if (close >= tokens.size()) break;
+        // Range-for: a ':' at paren depth 1 ("::" is a fused token, so a
+        // bare ':' here is the range separator).
+        std::size_t colon = 0;
+        depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (tokens[j].text == "(") ++depth;
+            if (tokens[j].text == ")") --depth;
+            if (tokens[j].text == ":" && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        const std::size_t begin = (colon != 0) ? colon + 1 : i + 2;
+        for (std::size_t j = begin; j < close; ++j) {
+            if (tokens[j].kind != TokenKind::identifier || !names.contains(tokens[j].text))
+                continue;
+            // Explicit iterator loops only count via NAME.begin()/cbegin().
+            const bool iterator_loop =
+                colon == 0 && j + 2 < close && tokens[j + 1].text == "." &&
+                (tokens[j + 2].text == "begin" || tokens[j + 2].text == "cbegin");
+            if (colon == 0 && !iterator_loop) continue;
+            findings.push_back({scan.path, tokens[i].line, "R3",
+                                "iteration over unordered container '" + tokens[j].text +
+                                    "' in deterministic module '" + scan.module +
+                                    "' (order can leak into results; iterate a sorted copy)",
+                                false, {}});
+            break;
+        }
+        i = close;
+    }
+}
+
+void check_layering(const FileScan& scan, std::vector<Finding>& findings) {
+    if (scan.area != "src" || scan.module.empty()) return;
+    const auto closure = layering_closure().find(scan.module);
+    if (closure == layering_closure().end()) return; // unknown module: no DAG yet
+    for (const IncludeDirective& include : scan.lex.includes) {
+        const std::size_t slash = include.path.find('/');
+        if (slash == std::string::npos) continue;
+        const std::string target = include.path.substr(0, slash);
+        if (target == scan.module || !layering_closure().contains(target)) continue;
+        if (!closure->second.contains(target)) {
+            findings.push_back({scan.path, include.line, "R4",
+                                "layering violation: module '" + scan.module +
+                                    "' must not include '" + include.path + "' ('" +
+                                    scan.module + "' -> '" + target +
+                                    "' is not an edge of the src/ DAG)", false, {}});
+        }
+    }
+}
+
+/// Walk past a candidate member-function definition.  `open` indexes the
+/// body '{'.  Appends an R5 finding when the body is long enough to demand
+/// a contract but carries none.  Returns the index of the body's '}'.
+std::size_t scan_function_body(const FileScan& scan, std::size_t open, int def_line,
+                               const std::string& qualified, std::vector<Finding>& findings) {
+    const auto& tokens = scan.lex.tokens;
+    int depth = 0;
+    bool has_contract = false;
+    std::size_t j = open;
+    for (; j < tokens.size(); ++j) {
+        if (tokens[j].text == "{") ++depth;
+        if (tokens[j].text == "}" && --depth == 0) break;
+        if (tokens[j].kind == TokenKind::identifier &&
+            (tokens[j].text == "RMWP_EXPECT" || tokens[j].text == "RMWP_ENSURE"))
+            has_contract = true;
+    }
+    const int body_lines = (j < tokens.size() ? tokens[j].line : tokens.back().line) -
+                           tokens[open].line - 1;
+    if (!has_contract && body_lines >= kContractBodyLines) {
+        findings.push_back({scan.path, def_line, "R5",
+                            "mutating entry point '" + qualified + "' (" +
+                                std::to_string(body_lines) +
+                                " body lines) has no RMWP_EXPECT/RMWP_ENSURE contract",
+                            false, {}});
+    }
+    return j;
+}
+
+void check_contracts(const FileScan& scan, std::vector<Finding>& findings) {
+    if (scan.canonical.rfind("src/core/", 0) != 0 || !scan.canonical.ends_with(".cpp")) return;
+    const auto& tokens = scan.lex.tokens;
+    // Effective depth ignores namespace braces so out-of-line member
+    // definitions inside `namespace rmwp {` still sit at depth 0.
+    std::vector<bool> brace_is_namespace;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& text = tokens[i].text;
+        if (text == "{") {
+            const bool ns =
+                (i >= 1 && is_ident(tokens[i - 1], "namespace")) ||
+                (i >= 2 && tokens[i - 1].kind == TokenKind::identifier &&
+                 is_ident(tokens[i - 2], "namespace"));
+            brace_is_namespace.push_back(ns);
+            continue;
+        }
+        if (text == "}") {
+            if (!brace_is_namespace.empty()) brace_is_namespace.pop_back();
+            continue;
+        }
+        const bool at_top = std::none_of(brace_is_namespace.begin(), brace_is_namespace.end(),
+                                         [](bool ns) { return !ns; });
+        if (!at_top) continue;
+        // Candidate: ident "::" ident "(" — an out-of-line member definition.
+        if (tokens[i].kind != TokenKind::identifier || i + 3 >= tokens.size() ||
+            tokens[i + 1].text != "::" || tokens[i + 2].kind != TokenKind::identifier ||
+            tokens[i + 3].text != "(")
+            continue;
+        const std::string& cls = tokens[i].text;
+        const std::string& name = tokens[i + 2].text;
+        if (name == cls || name == "operator") continue; // ctor / operator overload
+        // Find the parameter list's ')'.
+        int depth = 0;
+        std::size_t j = i + 3;
+        for (; j < tokens.size(); ++j) {
+            if (tokens[j].text == "(") ++depth;
+            if (tokens[j].text == ")" && --depth == 0) break;
+        }
+        if (j >= tokens.size()) break;
+        // Signature tail: `;` means declaration, `const` means non-mutating.
+        bool is_const = false;
+        std::size_t open = tokens.size();
+        for (++j; j < tokens.size(); ++j) {
+            if (tokens[j].text == ";") break;
+            if (is_ident(tokens[j], "const")) is_const = true;
+            if (tokens[j].text == "{") {
+                open = j;
+                break;
+            }
+        }
+        if (open == tokens.size() || is_const) {
+            i = (j < tokens.size()) ? j : i + 3;
+            continue;
+        }
+        i = scan_function_body(scan, open, tokens[i].line, cls + "::" + name, findings);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waiver resolution.
+
+void resolve_waivers(FileScan& scan, std::vector<Finding>& findings, Report& report) {
+    auto& waivers = scan.lex.waivers;
+    std::map<int, std::vector<std::size_t>> by_line;
+    std::vector<bool> used(waivers.size(), false);
+    for (std::size_t w = 0; w < waivers.size(); ++w) by_line[waivers[w].line].push_back(w);
+
+    auto try_waive = [&](Finding& finding, int line, bool need_own_line) {
+        const auto it = by_line.find(line);
+        if (it == by_line.end()) return false;
+        bool saw_waiver_line = false;
+        for (const std::size_t w : it->second) {
+            const WaiverComment& waiver = waivers[w];
+            if (waiver.malformed || (need_own_line && !waiver.own_line)) continue;
+            saw_waiver_line = true;
+            for (const std::string& rule : waiver.rules) {
+                if (rule != finding.rule) continue;
+                finding.waived = true;
+                finding.waiver_reason = waiver.reason;
+                used[w] = true;
+                return true;
+            }
+        }
+        return saw_waiver_line; // a waiver line for another rule still chains upward
+    };
+
+    for (Finding& finding : findings) {
+        if (finding.rule == "R0") continue; // hygiene findings are unwaivable
+        if (try_waive(finding, finding.line, /*need_own_line=*/false) && finding.waived)
+            continue;
+        // Walk up through a block of own-line waiver comments above.
+        for (int line = finding.line - 1; line >= 1; --line) {
+            if (!try_waive(finding, line, /*need_own_line=*/true)) break;
+            if (finding.waived) break;
+        }
+    }
+
+    for (std::size_t w = 0; w < waivers.size(); ++w) {
+        const WaiverComment& waiver = waivers[w];
+        if (waiver.malformed) {
+            findings.push_back({scan.path, waiver.line, "R0",
+                                "malformed waiver: expected "
+                                "'// RMWP_LINT_ALLOW(R#[,R#...]): reason'", false, {}});
+            continue;
+        }
+        std::string joined;
+        for (const std::string& rule : waiver.rules)
+            joined += (joined.empty() ? "" : ",") + rule;
+        if (!used[w]) {
+            findings.push_back({scan.path, waiver.line, "R0",
+                                "unused waiver for " + joined +
+                                    " (no matching finding; delete it)", false, {}});
+        }
+        report.waivers.push_back({scan.path, waiver.line, joined, waiver.reason, used[w]});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File gathering.
+
+bool analyzable_extension(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+bool skip_directory(const std::string& name) {
+    return name.empty() || name.front() == '.' || name.rfind("build", 0) == 0 ||
+           name == "fixtures";
+}
+
+void walk(const fs::path& root, std::vector<std::string>& files) {
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root, ec);
+    const fs::recursive_directory_iterator end;
+    while (!ec && it != end) {
+        if (it->is_directory(ec) && skip_directory(it->path().filename().string())) {
+            it.disable_recursion_pending();
+        } else if (it->is_regular_file(ec) && analyzable_extension(it->path())) {
+            files.push_back(it->path().string());
+        }
+        it.increment(ec);
+    }
+}
+
+/// Pull "file" entries out of compile_commands.json with a scan that only
+/// understands the two-token `"file" : "value"` shape — enough for every
+/// CMake-generated database and free of a JSON dependency.
+std::vector<std::string> compdb_files(const std::string& path) {
+    std::vector<std::string> out;
+    std::ifstream in(path);
+    if (!in) return out;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::string key = "\"file\"";
+    for (std::size_t at = text.find(key); at != std::string::npos;
+         at = text.find(key, at + key.size())) {
+        std::size_t i = at + key.size();
+        while (i < text.size() && (text[i] == ' ' || text[i] == ':')) ++i;
+        if (i >= text.size() || text[i] != '"') continue;
+        std::string value;
+        for (++i; i < text.size() && text[i] != '"'; ++i) {
+            if (text[i] == '\\' && i + 1 < text.size()) ++i;
+            value += text[i];
+        }
+        out.push_back(value);
+    }
+    return out;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+    std::ifstream in(path, std::ios::binary);
+    ok = static_cast<bool>(in);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+std::size_t Report::unwaived() const {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const Finding& finding) { return !finding.waived; }));
+}
+
+std::string canonical_path(const std::string& path) {
+    const std::vector<std::string> parts = path_components(path);
+    std::size_t marker = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i)
+        if (area_markers().contains(parts[i])) marker = i;
+    if (marker == parts.size()) return {};
+    std::string out;
+    for (std::size_t i = marker; i < parts.size(); ++i)
+        out += (out.empty() ? "" : "/") + parts[i];
+    return out;
+}
+
+std::string render(const Finding& finding) {
+    return finding.path + ":" + std::to_string(finding.line) + ": [" + finding.rule + "] " +
+           finding.message;
+}
+
+Report analyze(const Options& options) {
+    Report report;
+
+    // -- gather ---------------------------------------------------------
+    std::vector<std::string> files;
+    std::vector<fs::path> roots;
+    for (const std::string& path : options.paths) {
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            roots.push_back(fs::weakly_canonical(path, ec));
+            walk(path, files);
+        } else {
+            files.push_back(path);
+        }
+    }
+    if (!options.compdb.empty()) {
+        for (const std::string& file : compdb_files(options.compdb)) {
+            std::error_code ec;
+            const std::string canon = fs::weakly_canonical(file, ec).string();
+            const bool under_root =
+                std::any_of(roots.begin(), roots.end(), [&](const fs::path& root) {
+                    return canon.rfind(root.string() + "/", 0) == 0;
+                });
+            if (under_root && analyzable_extension(file)) files.push_back(file);
+        }
+    }
+    std::set<std::string> seen;
+    std::vector<std::string> unique;
+    for (const std::string& file : files) {
+        std::error_code ec;
+        if (seen.insert(fs::weakly_canonical(file, ec).string()).second)
+            unique.push_back(file);
+    }
+    std::sort(unique.begin(), unique.end(), [](const std::string& a, const std::string& b) {
+        return canonical_path(a) < canonical_path(b) || (canonical_path(a) == canonical_path(b) && a < b);
+    });
+
+    // -- lex ------------------------------------------------------------
+    std::vector<FileScan> scans;
+    scans.reserve(unique.size());
+    for (const std::string& file : unique) {
+        bool ok = false;
+        const std::string content = read_file(file, ok);
+        if (!ok) {
+            report.findings.push_back({file, 0, "R0", "could not read file", false, {}});
+            continue;
+        }
+        FileScan scan;
+        scan.path = file;
+        scan.canonical = canonical_path(file);
+        const std::vector<std::string> parts = path_components(scan.canonical);
+        scan.area = parts.empty() ? "" : parts.front();
+        if (scan.area == "src" && parts.size() >= 3) scan.module = parts[1];
+        scan.lex = lex(content);
+        scans.push_back(std::move(scan));
+    }
+    report.files_scanned = scans.size();
+
+    // -- cross-file state: unordered-typed names declared in any header of
+    //    a deterministic module (members iterated from sibling .cpp files).
+    std::set<std::string> global_names;
+    for (const FileScan& scan : scans)
+        if (scan.area == "src" && deterministic_modules().contains(scan.module))
+            collect_unordered_names(scan.lex.tokens, global_names);
+
+    // -- check + resolve -------------------------------------------------
+    for (FileScan& scan : scans) {
+        std::vector<Finding> findings;
+        check_clocks(scan, findings);
+        check_entropy(scan, findings);
+        check_unordered_iteration(scan, global_names, findings);
+        check_layering(scan, findings);
+        check_contracts(scan, findings);
+        resolve_waivers(scan, findings, report);
+        std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+            return a.line < b.line || (a.line == b.line && a.rule < b.rule);
+        });
+        report.findings.insert(report.findings.end(), findings.begin(), findings.end());
+    }
+    return report;
+}
+
+} // namespace rmwp::analyze

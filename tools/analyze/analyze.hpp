@@ -1,0 +1,57 @@
+// rmwp-analyze: repo-aware determinism & layering checks (DESIGN.md §12).
+// The entry points are pure functions over file paths so tests/test_analyze
+// can drive them against fixtures without spawning the binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmwp::analyze {
+
+struct Finding {
+    std::string path;    ///< path as given by the caller
+    int line = 0;
+    std::string rule;    ///< "R0".."R5"
+    std::string message;
+    bool waived = false;
+    std::string waiver_reason; ///< set when waived
+};
+
+/// One RMWP_LINT_ALLOW comment, resolved: `used` means it suppressed at
+/// least one finding.  Unused or malformed waivers become R0 findings.
+struct WaiverRecord {
+    std::string path;
+    int line = 0;
+    std::string rules;  ///< comma-joined as written
+    std::string reason;
+    bool used = false;
+};
+
+struct Report {
+    std::vector<Finding> findings; ///< waived and unwaived, path/line order
+    std::vector<WaiverRecord> waivers;
+    std::size_t files_scanned = 0;
+
+    std::size_t unwaived() const;
+};
+
+struct Options {
+    /// Files and/or directories to analyze.  Directories are walked for
+    /// *.cpp/*.hpp/*.h, skipping build*, hidden, and `fixtures` dirs.
+    std::vector<std::string> paths;
+    /// Optional compile_commands.json; its entries under `paths` are added
+    /// to the file list (the glob walk still supplies headers).
+    std::string compdb;
+};
+
+Report analyze(const Options& options);
+
+/// `file:line: [R#] message` — the format tests assert on.
+std::string render(const Finding& finding);
+
+/// "src/core/edf.cpp" from any spelling of a repo path (the components
+/// from the last src/bench/tests/tools/examples marker onward); empty when
+/// no marker is present.  Exposed for tests.
+std::string canonical_path(const std::string& path);
+
+} // namespace rmwp::analyze

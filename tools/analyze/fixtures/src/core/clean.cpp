@@ -1,0 +1,21 @@
+// Clean fixture: everything here is allowed by R1-R5.
+#include "util/check.hpp"
+#include <map>
+#include <vector>
+
+namespace rmwp {
+
+struct FixtureClean {
+    void absorb(const std::map<int, double>& ordered);
+    std::vector<double> seen_;
+};
+
+void FixtureClean::absorb(const std::map<int, double>& ordered) {
+    RMWP_EXPECT(seen_.empty() || seen_.back() >= 0.0);
+    for (const auto& [key, value] : ordered) {
+        seen_.push_back(value);
+    }
+    RMWP_ENSURE(seen_.size() >= ordered.size());
+}
+
+} // namespace rmwp

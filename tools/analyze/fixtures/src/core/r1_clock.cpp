@@ -1,0 +1,11 @@
+// R1 fixture: one wall-clock read in a deterministic module.
+#include <chrono>
+
+namespace rmwp {
+
+double fixture_now() {
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace rmwp

@@ -1,0 +1,10 @@
+// R4 fixture: a core file reaching up the stack.
+#include "obs/event.hpp"
+#include "serve/serve.hpp"
+#include "util/check.hpp"
+
+namespace rmwp {
+
+int fixture_layering() { return 0; }
+
+} // namespace rmwp

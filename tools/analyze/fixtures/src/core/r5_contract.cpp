@@ -1,0 +1,38 @@
+// R5 fixture: mutating core entry points with and without contracts.
+#include "util/check.hpp"
+
+namespace rmwp {
+
+struct FixtureCounter {
+    void bump(int by);
+    void bump_checked(int by);
+    int peek() const;
+    int value_ = 0;
+    int bumps_ = 0;
+};
+
+void FixtureCounter::bump(int by) {
+    value_ += by;
+    bumps_ += 1;
+    value_ += 0;
+    bumps_ += 0;
+    value_ *= 1;
+}
+
+void FixtureCounter::bump_checked(int by) {
+    RMWP_EXPECT(by >= 0);
+    value_ += by;
+    bumps_ += 1;
+    value_ += 0;
+    bumps_ += 0;
+}
+
+int FixtureCounter::peek() const {
+    int copy = value_;
+    copy += 1;
+    copy += 2;
+    copy += 3;
+    return copy;
+}
+
+} // namespace rmwp

@@ -1,0 +1,11 @@
+// R0 fixture: malformed and unused waivers are findings themselves.
+
+namespace rmwp {
+
+// RMWP_LINT_ALLOW(R1): there is no wall clock below any more
+int fixture_stale() { return 1; }
+
+// RMWP_LINT_ALLOW(R2) missing the colon and reason
+int fixture_malformed() { return 2; }
+
+} // namespace rmwp

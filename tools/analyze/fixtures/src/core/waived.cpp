@@ -1,0 +1,13 @@
+// Waived fixture: the violations are intentional and reasoned.
+#include <chrono>
+
+namespace rmwp {
+
+double fixture_waived_now() {
+    // RMWP_LINT_ALLOW(R1): fixture exercising the own-line waiver form
+    const auto t = std::chrono::steady_clock::now();
+    const auto u = std::chrono::steady_clock::now(); // RMWP_LINT_ALLOW(R1): trailing waiver form
+    return std::chrono::duration<double>(u - t).count();
+}
+
+} // namespace rmwp

@@ -1,0 +1,15 @@
+// R2 fixture: ambient entropy outside seed plumbing.
+#include <cstdlib>
+#include <random>
+
+namespace rmwp {
+
+int fixture_entropy() {
+    std::random_device device;
+    int value = static_cast<int>(device());
+    value += std::rand();
+    if (std::getenv("RMWP_FIXTURE") != nullptr) ++value;
+    return value;
+}
+
+} // namespace rmwp

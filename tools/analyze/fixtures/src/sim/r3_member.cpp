@@ -1,0 +1,12 @@
+// ...and iterated here, in a different translation unit.
+#include "r3_member.hpp"
+
+namespace rmwp {
+
+double FixtureLedger::total() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : balances_) sum += value;
+    return sum;
+}
+
+} // namespace rmwp

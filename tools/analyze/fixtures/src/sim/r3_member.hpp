@@ -1,0 +1,12 @@
+// R3 cross-file fixture: the hashed member is declared here...
+#pragma once
+#include <unordered_map>
+
+namespace rmwp {
+
+struct FixtureLedger {
+    double total() const;
+    std::unordered_map<long, double> balances_;
+};
+
+} // namespace rmwp

@@ -1,0 +1,20 @@
+// R3 fixture: hashed-container iteration in a deterministic module.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rmwp {
+
+struct FixtureState {
+    std::unordered_map<int, double> work;
+    std::unordered_set<int> members;
+};
+
+double fixture_sum(const FixtureState& state) {
+    double total = 0.0;
+    for (const auto& [uid, amount] : state.work) total += amount;
+    for (auto it = state.members.begin(); it != state.members.end(); ++it)
+        total += static_cast<double>(*it);
+    return total;
+}
+
+} // namespace rmwp

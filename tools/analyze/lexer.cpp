@@ -1,0 +1,225 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace rmwp::analyze {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+/// Parse a waiver comment starting at the character index of the 'R'.  The
+/// grammar is: the marker, a parenthesized comma-separated rule list, a
+/// colon, and a non-empty reason.
+WaiverComment parse_waiver(const std::string& comment, std::size_t at, int line) {
+    WaiverComment waiver;
+    waiver.line = line;
+    std::size_t i = at + std::string("RMWP_LINT_ALLOW").size();
+    while (i < comment.size() && comment[i] == ' ') ++i;
+    if (i >= comment.size() || comment[i] != '(') {
+        waiver.malformed = true;
+        return waiver;
+    }
+    ++i;
+    std::string rule;
+    bool closed = false;
+    for (; i < comment.size(); ++i) {
+        const char c = comment[i];
+        if (c == ')') {
+            closed = true;
+            ++i;
+            break;
+        }
+        if (c == ',') {
+            if (!trim(rule).empty()) waiver.rules.push_back(trim(rule));
+            rule.clear();
+        } else {
+            rule += c;
+        }
+    }
+    if (!trim(rule).empty()) waiver.rules.push_back(trim(rule));
+    if (!closed || waiver.rules.empty()) {
+        waiver.malformed = true;
+        return waiver;
+    }
+    while (i < comment.size() && comment[i] == ' ') ++i;
+    if (i >= comment.size() || comment[i] != ':') {
+        waiver.malformed = true;
+        return waiver;
+    }
+    waiver.reason = trim(comment.substr(i + 1));
+    if (waiver.reason.empty()) waiver.malformed = true;
+    return waiver;
+}
+
+void scan_comment_for_waiver(const std::string& comment, int line, LexResult& out) {
+    // Only a marker at the start of the comment (after doc-comment slashes
+    // and whitespace) is a waiver; prose that merely mentions the marker —
+    // like this file's own documentation — is not.
+    std::size_t start = 0;
+    while (start < comment.size() &&
+           (comment[start] == '/' || comment[start] == '!' || comment[start] == ' ' ||
+            comment[start] == '\t'))
+        ++start;
+    if (comment.compare(start, std::string("RMWP_LINT_ALLOW").size(), "RMWP_LINT_ALLOW") != 0)
+        return;
+    out.waivers.push_back(parse_waiver(comment, start, line));
+}
+
+} // namespace
+
+LexResult lex(const std::string& content) {
+    LexResult out;
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool line_has_directive = false; ///< current logical line started with '#'
+    bool at_line_start = true;       ///< only whitespace seen on this line so far
+
+    auto newline = [&] {
+        ++line;
+        at_line_start = true;
+        line_has_directive = false;
+    };
+
+    while (i < n) {
+        const char c = content[i];
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (c == '\\' && i + 1 < n && content[i + 1] == '\n') { // line continuation
+            ++line; // logical line continues: keep directive state
+            at_line_start = false;
+            i += 2;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // -- comments ----------------------------------------------------
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            const std::size_t end = content.find('\n', i);
+            const std::string body =
+                content.substr(i + 2, (end == std::string::npos ? n : end) - i - 2);
+            scan_comment_for_waiver(body, line, out);
+            i = (end == std::string::npos) ? n : end;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const std::size_t end = content.find("*/", i + 2);
+            const std::size_t stop = (end == std::string::npos) ? n : end;
+            // Waivers are only recognized in // comments (the grammar says
+            // so), but still count lines inside the block.
+            for (std::size_t j = i; j < stop; ++j)
+                if (content[j] == '\n') newline();
+            i = (end == std::string::npos) ? n : end + 2;
+            continue;
+        }
+        // -- preprocessor directives ------------------------------------
+        if (c == '#' && at_line_start) {
+            line_has_directive = true;
+            at_line_start = false;
+            ++i;
+            continue;
+        }
+        // -- raw strings -------------------------------------------------
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+            (i == 0 || !ident_char(content[i - 1]))) {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(') delim += content[j++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = content.find(closer, j);
+            const std::size_t stop = (end == std::string::npos) ? n : end + closer.size();
+            const int start_line = line;
+            for (std::size_t k = i; k < stop; ++k)
+                if (content[k] == '\n') ++line;
+            out.tokens.push_back({TokenKind::string, start_line, "R\"...\""});
+            at_line_start = false;
+            i = stop;
+            continue;
+        }
+        // -- string / char literals --------------------------------------
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            std::string value;
+            while (j < n && content[j] != quote) {
+                if (content[j] == '\\' && j + 1 < n) ++j;
+                if (content[j] == '\n') ++line; // unterminated; degrade gracefully
+                value += content[j++];
+            }
+            if (quote == '"' && line_has_directive) {
+                // The only directive with a quoted string we care about.
+                out.includes.push_back({line, value});
+            }
+            out.tokens.push_back({TokenKind::string, line, std::string(1, quote)});
+            at_line_start = false;
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+        // -- identifiers -------------------------------------------------
+        if (ident_start(c)) {
+            std::size_t j = i;
+            while (j < n && ident_char(content[j])) ++j;
+            out.tokens.push_back({TokenKind::identifier, line, content.substr(i, j - i)});
+            at_line_start = false;
+            i = j;
+            continue;
+        }
+        // -- numbers (pp-number: digits, letters, dots, exponent signs) --
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+            std::size_t j = i;
+            while (j < n && (ident_char(content[j]) || content[j] == '.' ||
+                             ((content[j] == '+' || content[j] == '-') && j > i &&
+                              (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                               content[j - 1] == 'p' || content[j - 1] == 'P')))) {
+                ++j;
+            }
+            out.tokens.push_back({TokenKind::number, line, content.substr(i, j - i)});
+            at_line_start = false;
+            i = j;
+            continue;
+        }
+        // -- punctuation: fuse "::" and "->" so rule checks can treat
+        //    qualified names and member access as single separators.
+        if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+            out.tokens.push_back({TokenKind::punct, line, "::"});
+            at_line_start = false;
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+            out.tokens.push_back({TokenKind::punct, line, "->"});
+            at_line_start = false;
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokenKind::punct, line, std::string(1, c)});
+        at_line_start = false;
+        ++i;
+    }
+
+    // Mark waivers whose line carries no code token as own-line: they apply
+    // to the next code line instead of their own.
+    std::unordered_set<int> code_lines;
+    for (const Token& token : out.tokens) code_lines.insert(token.line);
+    for (WaiverComment& waiver : out.waivers)
+        waiver.own_line = !code_lines.contains(waiver.line);
+    return out;
+}
+
+} // namespace rmwp::analyze

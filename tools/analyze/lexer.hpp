@@ -1,0 +1,56 @@
+// Lightweight C++ lexer for rmwp-analyze (DESIGN.md §12).  Not a real
+// front-end: it produces exactly the stream the rule checks need —
+// identifiers and punctuation with line numbers, quoted #include paths,
+// and RMWP_LINT_ALLOW waiver comments — while discarding comment bodies,
+// string/char literal contents, and preprocessor noise that would
+// otherwise generate false findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmwp::analyze {
+
+enum class TokenKind {
+    identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    number,     ///< numeric literal (single token, pp-number-ish)
+    string,     ///< string or char literal (contents discarded)
+    punct,      ///< single punctuation char, except "::" and "->" which fuse
+};
+
+struct Token {
+    TokenKind kind = TokenKind::punct;
+    int line = 0;
+    std::string text;
+};
+
+/// A quoted `#include "..."` directive (angle includes never name repo
+/// modules, so they are not collected).
+struct IncludeDirective {
+    int line = 0;
+    std::string path;
+};
+
+/// One `// RMWP_LINT_ALLOW(R1,R2): reason` comment.  `rules` is empty and
+/// `malformed` true when the grammar was not followed (no rule list, or a
+/// missing/empty reason) — the analyzer turns that into an R0 finding.
+struct WaiverComment {
+    int line = 0;
+    std::vector<std::string> rules;
+    std::string reason;
+    bool malformed = false;
+    bool own_line = false; ///< no code tokens share the line (set by lexer)
+};
+
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+    std::vector<WaiverComment> waivers;
+};
+
+/// Tokenize `content`.  Handles //, /*...*/, string/char literals with
+/// escapes, raw strings R"delim(...)delim", and line continuations well
+/// enough for the rule checks; it never fails, it only degrades.
+LexResult lex(const std::string& content);
+
+} // namespace rmwp::analyze

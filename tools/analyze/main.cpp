@@ -1,0 +1,76 @@
+// rmwp-analyze CLI (DESIGN.md §12).
+//
+//   rmwp-analyze [--compdb FILE] [--waivers] [--list-rules] PATH...
+//
+// PATHs are files or directories (directories are walked for C++ sources,
+// skipping build*/hidden/fixtures dirs).  Prints one `file:line: [R#]
+// message` per unwaived finding.  Exit 0 when clean, 1 on unwaived
+// findings, 2 on usage errors.
+#include <cstring>
+#include <iostream>
+
+#include "analyze.hpp"
+#include "rules.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+    os << "usage: rmwp-analyze [--compdb FILE] [--waivers] [--list-rules] PATH...\n"
+          "  --compdb FILE  add translation units from a compile_commands.json\n"
+          "  --waivers      print the RMWP_LINT_ALLOW inventory after the summary\n"
+          "  --list-rules   print the rule table and exit\n";
+    return code;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    rmwp::analyze::Options options;
+    bool print_waivers = false;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0)
+            return usage(std::cout, 0);
+        if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const auto& [id, summary] : rmwp::analyze::rule_table())
+                std::cout << id << "  " << summary << "\n";
+            return 0;
+        }
+        if (std::strcmp(arg, "--waivers") == 0) {
+            print_waivers = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--compdb") == 0) {
+            if (++i >= argc) return usage(std::cerr, 2);
+            options.compdb = argv[i];
+            continue;
+        }
+        if (arg[0] == '-') {
+            std::cerr << "rmwp-analyze: unknown option '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        }
+        options.paths.push_back(arg);
+    }
+    if (options.paths.empty()) return usage(std::cerr, 2);
+
+    const rmwp::analyze::Report report = rmwp::analyze::analyze(options);
+    for (const rmwp::analyze::Finding& finding : report.findings)
+        if (!finding.waived) std::cout << rmwp::analyze::render(finding) << "\n";
+
+    std::size_t used_waivers = 0;
+    for (const rmwp::analyze::WaiverRecord& waiver : report.waivers)
+        if (waiver.used) ++used_waivers;
+    std::cout << "rmwp-analyze: " << report.files_scanned << " files, "
+              << report.findings.size() << " findings (" << report.unwaived()
+              << " unwaived), " << used_waivers << " waivers\n";
+
+    if (print_waivers && used_waivers > 0) {
+        std::cout << "waiver inventory (every intentional nondeterminism):\n";
+        for (const rmwp::analyze::WaiverRecord& waiver : report.waivers) {
+            if (!waiver.used) continue;
+            std::cout << "  " << waiver.path << ":" << waiver.line << ": [" << waiver.rules
+                      << "] " << waiver.reason << "\n";
+        }
+    }
+    return report.unwaived() == 0 ? 0 : 1;
+}

@@ -1,24 +1,39 @@
 #!/usr/bin/env sh
-# Static-analysis gate: run the curated .clang-tidy check set (warnings are
-# errors) over src/ bench/ tests/ tools/.
+# Static-analysis gate, two stages sharing one source-of-truth file list
+# (the exported compile_commands.json):
+#
+#   1. rmwp-analyze (tools/analyze, DESIGN.md §12): repo-specific
+#      determinism & layering rules R1-R5 with the RMWP_LINT_ALLOW waiver
+#      inventory.  Runs everywhere — it only needs the C++ toolchain.
+#   2. clang-tidy with the curated .clang-tidy set (warnings are errors)
+#      over every translation unit in the compilation database.  On
+#      machines without clang-tidy (e.g. a gcc-only container) this stage
+#      degrades to the strictest warning build the toolchain offers —
+#      RMWP_WERROR=ON, i.e. -Wall -Wextra -Wpedantic -Wconversion -Wshadow
+#      -Werror — so the gate still means something; CI runs the full
+#      clang-tidy job.
 #
 #   tools/lint.sh [extra clang-tidy args...]
 #
-# Uses a separate build directory (build-lint/) for the compilation
-# database so the regular `build/` tree stays untouched.  On machines
-# without clang-tidy (e.g. a gcc-only container) it degrades to the
-# strictest warning build the toolchain offers — RMWP_WERROR=ON, i.e.
-# -Wall -Wextra -Wpedantic -Wconversion -Wshadow -Werror — so the gate
-# still means something everywhere; CI runs the full clang-tidy job.
+# Uses a separate build directory (build-lint/) so the regular `build/`
+# tree stays untouched.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build-lint"
+compdb="$build_dir/compile_commands.json"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DRMWP_WERROR=ON -DRMWP_AUDIT=ON
 
+# --- stage 1: rmwp-analyze ------------------------------------------------
+cmake --build "$build_dir" -j "$jobs" --target rmwp-analyze
+(cd "$repo_root" && "$build_dir/tools/analyze/rmwp-analyze" \
+    --compdb "$compdb" --waivers src bench tests tools)
+echo "lint.sh: rmwp-analyze clean"
+
+# --- stage 2: clang-tidy --------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "lint.sh: clang-tidy not found; falling back to -Werror build" >&2
     cmake --build "$build_dir" -j "$jobs"
@@ -26,10 +41,12 @@ if ! command -v clang-tidy >/dev/null 2>&1; then
     exit 0
 fi
 
-# First-party translation units only (the compilation database also covers
-# nothing else, but be explicit about the tree we gate).
-files=$(find "$repo_root/src" "$repo_root/bench" "$repo_root/tests" "$repo_root/tools" \
-        -name '*.cpp' 2>/dev/null | sort)
+# File list straight from the compilation database — the same translation
+# units the build compiles, nothing more (headers are covered through
+# HeaderFilterRegex).
+files=$(python3 -c "import json,sys; [print(e['file']) for e in json.load(open(sys.argv[1]))]" \
+        "$compdb" 2>/dev/null | sort -u) || \
+files=$(sed -n 's/^ *"file": *"\(.*\)",*$/\1/p' "$compdb" | sort -u)
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
     # shellcheck disable=SC2086  # word-splitting the file list is intended
