@@ -21,6 +21,9 @@ public:
     BaselineRM() = default;
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    /// Batched admission over the shared BatchPlanner base: one plan
+    /// rebuild per batch, bit-identical decisions to sequential decide()s.
+    void decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) override;
     [[nodiscard]] std::string name() const override { return "baseline"; }
 };
 

@@ -14,36 +14,55 @@ namespace {
 /// absorbing accumulated floating-point noise.
 constexpr double kEps = 1e-6;
 
-struct Work {
-    const ScheduleItem* item = nullptr;
-    double remaining = 0.0;
-    bool done = false;
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Margin against floating-point ordering noise: the prefilter sums
+/// durations in deadline order while the simulation accumulates along its
+/// dispatch path, so the two totals can disagree in the last few ulps
+/// (~1e-8 at the time magnitudes used here).  Verdicts within kSafety of a
+/// threshold degrade to `unknown` and fall back to the simulation.
+constexpr double kSafety = 1e-7;
+
+/// Struct-of-arrays task records for the EDF inner loop.  The dispatch scans
+/// (pick, next-reservation, preemption horizon) touch one or two fields of
+/// every open task per step; parallel arrays keep those scans cache-dense
+/// instead of striding over 56-byte records.  Thread-local: admission probes
+/// run this thousands of times per trace and must not pay a heap round-trip
+/// each time.
+struct EdfArrays {
+    std::vector<Time> release;
+    std::vector<Time> deadline;
+    std::vector<double> remaining;
+    std::vector<TaskUid> uid;
+    std::vector<std::uint8_t> reserved;
+    std::vector<std::uint8_t> done;
+
+    void clear() noexcept {
+        release.clear();
+        deadline.clear();
+        remaining.clear();
+        uid.clear();
+        reserved.clear();
+        done.clear();
+    }
+
+    void push(const ScheduleItem& item) {
+        release.push_back(item.release);
+        deadline.push_back(item.abs_deadline);
+        remaining.push_back(item.duration);
+        uid.push_back(item.uid);
+        reserved.push_back(item.reserved ? 1 : 0);
+        done.push_back(item.duration <= 0.0 ? 1 : 0);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return release.size(); }
 };
 
-/// Strict-weak EDF ordering with deterministic tie-breaks.  Design-time
-/// reservations outrank every adaptive task; the predicted task carries the
-/// maximum uid, so on deadline ties real tasks win — exactly the paper's
-/// "SL1 = deadline earlier than or equal to tau_p".
-bool edf_before(const ScheduleItem& a, const ScheduleItem& b) noexcept {
-    if (a.reserved != b.reserved) return a.reserved;
-    if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
-    if (a.release != b.release) return a.release < b.release;
-    return a.uid < b.uid;
-}
-
-/// Whether a not-yet-released item `u` preempts the currently running
-/// `pick` on a preemptable resource at u's release.  Reservations preempt
-/// any adaptive task; adaptive tasks preempt by strictly earlier deadline;
-/// nothing preempts a reservation (overlapping reservations are a
-/// design-time error and simply surface as infeasibility).
-bool preempts(const ScheduleItem& u, const ScheduleItem& pick) noexcept {
-    if (pick.reserved) return false;
-    if (u.reserved) return true;
-    return edf_before(u, pick);
-}
-
 /// Shared preemptive/non-preemptive EDF simulation.  When `record` is null
-/// only feasibility is computed.
+/// only feasibility is computed.  The task records live in struct-of-arrays
+/// layout; every comparison happens in the same order as the historical
+/// array-of-structs loop, so timelines and verdicts are bit-identical
+/// (tests/test_edf.cpp pins them).
 bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleItem> items,
                   ResourceTimeline* record, std::unordered_map<TaskUid, Time>* completion) {
     bool feasible = true;
@@ -63,19 +82,39 @@ bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleIt
         record->segments.push_back(Segment{uid, start, end});
     };
 
-    auto finish = [&](const ScheduleItem& item, Time end) {
-        if (completion != nullptr) (*completion)[item.uid] = end;
-        if (end > item.abs_deadline + kEps) feasible = false;
+    auto finish = [&](TaskUid uid, Time abs_deadline, Time end) {
+        if (completion != nullptr) (*completion)[uid] = end;
+        if (end > abs_deadline + kEps) feasible = false;
     };
 
-    // Bring the items into mutable Work records; run the pinned task (the
-    // one currently executing on a non-preemptable resource) first.  The
-    // buffer is thread-local: admission probes call this thousands of times
-    // per trace and must not pay a heap round-trip each time.
-    thread_local std::vector<Work> works_buffer;
-    std::vector<Work>& works = works_buffer;
-    works.clear();
-    works.reserve(items.size());
+    thread_local EdfArrays soa_buffer;
+    EdfArrays& soa = soa_buffer;
+    soa.clear();
+
+    // Strict-weak EDF ordering with deterministic tie-breaks.  Design-time
+    // reservations outrank every adaptive task; the predicted task carries
+    // the maximum uid, so on deadline ties real tasks win — exactly the
+    // paper's "SL1 = deadline earlier than or equal to tau_p".
+    auto edf_before = [&](std::size_t a, std::size_t b) noexcept {
+        if (soa.reserved[a] != soa.reserved[b]) return soa.reserved[a] != 0;
+        if (soa.deadline[a] != soa.deadline[b]) return soa.deadline[a] < soa.deadline[b];
+        if (soa.release[a] != soa.release[b]) return soa.release[a] < soa.release[b];
+        return soa.uid[a] < soa.uid[b];
+    };
+
+    // Whether a not-yet-released task `u` preempts the currently running
+    // `pick` on a preemptable resource at u's release.  Reservations preempt
+    // any adaptive task; adaptive tasks preempt by strictly earlier
+    // deadline; nothing preempts a reservation (overlapping reservations
+    // are a design-time error and simply surface as infeasibility).
+    auto preempts = [&](std::size_t u, std::size_t pick) noexcept {
+        if (soa.reserved[pick] != 0) return false;
+        if (soa.reserved[u] != 0) return true;
+        return edf_before(u, pick);
+    };
+
+    // Bring the items into the mutable arrays; run the pinned task (the one
+    // currently executing on a non-preemptable resource) first.
     for (const ScheduleItem& item : items) {
         RMWP_EXPECT(item.duration >= 0.0);
         RMWP_EXPECT(item.release >= now - kEps);
@@ -83,24 +122,25 @@ bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleIt
             RMWP_EXPECT(!resource.preemptable());
             const Time end = cur + item.duration;
             emit(item.uid, cur, end);
-            finish(item, end);
+            finish(item.uid, item.abs_deadline, end);
             cur = end;
             continue;
         }
-        works.push_back(Work{&item, item.duration, item.duration <= 0.0});
-        if (works.back().done) finish(item, std::max(cur, item.release));
+        soa.push(item);
+        if (soa.done.back() != 0) finish(item.uid, item.abs_deadline, std::max(cur, item.release));
     }
 
+    const std::size_t count = soa.size();
     std::size_t open = 0;
-    for (const Work& w : works)
-        if (!w.done) ++open;
+    for (std::size_t j = 0; j < count; ++j)
+        if (soa.done[j] == 0) ++open;
 
     while (open > 0) {
         // Highest-priority ready item (reservations first, then EDF).
-        Work* pick = nullptr;
-        for (Work& w : works) {
-            if (w.done || w.item->release > cur + kEps) continue;
-            if (pick == nullptr || edf_before(*w.item, *pick->item)) pick = &w;
+        std::size_t pick = kNone;
+        for (std::size_t j = 0; j < count; ++j) {
+            if (soa.done[j] != 0 || soa.release[j] > cur + kEps) continue;
+            if (pick == kNone || edf_before(j, pick)) pick = j;
         }
 
         // Non-preemptable resources dispatch at boundaries only, so an
@@ -109,62 +149,192 @@ bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleIt
         // guaranteed at design time.  Fall back to the longest-fitting EDF
         // choice, or idle until the reservation.
         Time next_reservation = std::numeric_limits<Time>::infinity();
-        for (const Work& w : works)
-            if (!w.done && w.item->reserved && w.item->release > cur + kEps)
-                next_reservation = std::min(next_reservation, w.item->release);
-        if (!resource.preemptable() && pick != nullptr && !pick->item->reserved &&
-            cur + pick->remaining > next_reservation + kEps) {
-            pick = nullptr;
-            for (Work& w : works) {
-                if (w.done || w.item->release > cur + kEps || w.item->reserved) continue;
-                if (cur + w.remaining > next_reservation + kEps) continue;
-                if (pick == nullptr || edf_before(*w.item, *pick->item)) pick = &w;
+        for (std::size_t j = 0; j < count; ++j)
+            if (soa.done[j] == 0 && soa.reserved[j] != 0 && soa.release[j] > cur + kEps)
+                next_reservation = std::min(next_reservation, soa.release[j]);
+        if (!resource.preemptable() && pick != kNone && soa.reserved[pick] == 0 &&
+            cur + soa.remaining[pick] > next_reservation + kEps) {
+            pick = kNone;
+            for (std::size_t j = 0; j < count; ++j) {
+                if (soa.done[j] != 0 || soa.release[j] > cur + kEps || soa.reserved[j] != 0)
+                    continue;
+                if (cur + soa.remaining[j] > next_reservation + kEps) continue;
+                if (pick == kNone || edf_before(j, pick)) pick = j;
             }
         }
 
-        if (pick == nullptr) {
+        if (pick == kNone) {
             // Nothing dispatchable: idle to the next release (a future
             // arrival or the next reserved window).
             Time next = next_reservation;
-            for (const Work& w : works)
-                if (!w.done && w.item->release > cur + kEps)
-                    next = std::min(next, w.item->release);
+            for (std::size_t j = 0; j < count; ++j)
+                if (soa.done[j] == 0 && soa.release[j] > cur + kEps)
+                    next = std::min(next, soa.release[j]);
             RMWP_ENSURE(std::isfinite(next));
             cur = std::max(cur, next);
             continue;
         }
 
-        Time end = cur + pick->remaining;
+        Time end = cur + soa.remaining[pick];
         if (resource.preemptable()) {
             // A future release preempts the running task if it outranks it
             // (a reservation always; an adaptive task by earlier deadline).
             Time preempt_at = std::numeric_limits<Time>::infinity();
-            for (const Work& w : works) {
-                if (w.done || &w == pick) continue;
-                if (w.item->release > cur + kEps && w.item->release < end - kEps &&
-                    preempts(*w.item, *pick->item)) {
-                    preempt_at = std::min(preempt_at, w.item->release);
+            for (std::size_t j = 0; j < count; ++j) {
+                if (soa.done[j] != 0 || j == pick) continue;
+                if (soa.release[j] > cur + kEps && soa.release[j] < end - kEps &&
+                    preempts(j, pick)) {
+                    preempt_at = std::min(preempt_at, soa.release[j]);
                 }
             }
             if (preempt_at < end) {
-                emit(pick->item->uid, cur, preempt_at);
-                pick->remaining -= preempt_at - cur;
+                emit(soa.uid[pick], cur, preempt_at);
+                soa.remaining[pick] -= preempt_at - cur;
                 cur = preempt_at;
                 continue;
             }
         }
-        emit(pick->item->uid, cur, end);
-        pick->remaining = 0.0;
-        pick->done = true;
+        emit(soa.uid[pick], cur, end);
+        soa.remaining[pick] = 0.0;
+        soa.done[pick] = 1;
         --open;
-        finish(*pick->item, end);
+        finish(soa.uid[pick], soa.deadline[pick], end);
         cur = end;
     }
 
     return feasible;
 }
 
+/// The demand-bound scan shared by the sorted and unsorted prefilters.
+/// `range` yields the items in demand order; `proj` dereferences an entry.
+/// `exact` arrives true iff the exact fast path applies (see the header
+/// contract) and is further degraded inside the borderline band.
+template <typename Range, typename Proj>
+EdfPrefilter demand_scan(Time now, const Range& range, Proj&& proj, bool exact) {
+    double work = 0.0;
+    for (const auto& entry : range) {
+        const ScheduleItem& item = proj(entry);
+        work += item.duration;
+        const double slack = item.abs_deadline - now;
+        // Everything with deadline <= this one must execute inside
+        // [now, deadline]; no schedule can create capacity.
+        if (work > slack + kEps + kSafety) return EdfPrefilter::infeasible;
+        if (work > slack + kEps - kSafety) exact = false;
+    }
+    return exact ? EdfPrefilter::feasible : EdfPrefilter::unknown;
+}
+
+/// Dispatch-mirror scan for a non-preemptable resource with nothing
+/// reserved, everything released, and at most one pinned head: the EDF
+/// dispatcher runs the pinned item first and everything else back-to-back
+/// in demand order, so the prefix sums below reproduce the simulation's
+/// completion times — modulo float-accumulation ulps, which the kSafety
+/// band degrades to `unknown`.  Unlike the demand bound this is a full
+/// verdict, not just a necessary condition.
+template <typename Range, typename Proj>
+EdfPrefilter dispatch_mirror_scan(Time now, const Range& range, Proj&& proj) {
+    bool exact = true;
+    double work = 0.0;
+    auto step = [&](const ScheduleItem& item) {
+        work += item.duration;
+        const double slack = item.abs_deadline - now;
+        if (work > slack + kEps + kSafety) return false;
+        if (work > slack + kEps - kSafety) exact = false;
+        return true;
+    };
+    for (const auto& entry : range) {
+        const ScheduleItem& item = proj(entry);
+        if (item.pinned_first && !step(item)) return EdfPrefilter::infeasible;
+    }
+    for (const auto& entry : range) {
+        const ScheduleItem& item = proj(entry);
+        if (!item.pinned_first && !step(item)) return EdfPrefilter::infeasible;
+    }
+    return exact ? EdfPrefilter::feasible : EdfPrefilter::unknown;
+}
+
+/// The shared prefilter body behind the sorted and unsorted entry points.
+/// `range` yields the items in demand order; `proj` dereferences an entry.
+///
+/// On a preemptable resource with nothing reserved and nothing pinned,
+/// dispatch is plain preemptive EDF, where the processor-demand criterion
+/// is exact even with not-yet-released items: the set is schedulable iff
+/// for every release point t1 (here: `now` plus each distinct future
+/// release) and every deadline t2, the work of items confined to [t1, t2]
+/// fits in t2 - t1.  The `now`-anchored scan is demand_scan above; the
+/// future-release scans run below, so plans carrying a predicted task (the
+/// common admission probe) resolve analytically instead of falling back to
+/// the EDF simulation.  Soundness against the simulation's kEps dispatch
+/// slop: an item may start up to kEps before its release and finish up to
+/// kEps past its deadline, so a future-release window really offers
+/// slack + 2*kEps — only demand beyond that (plus kSafety) is declared
+/// infeasible; the feasible verdict claims no eps credit at all.
+/// Reservations and pinned items outrank EDF, so those still degrade to
+/// the simulation (`unknown`).
+///
+/// On a non-preemptable resource (the GPU — the majority of admission
+/// probes) the common all-released case routes to dispatch_mirror_scan
+/// above for a full analytic verdict; anything with a future release, a
+/// reservation, or multiple pinned heads keeps the necessary-condition
+/// demand scan and lets the simulation decide.
+template <typename Range, typename Proj>
+EdfPrefilter prefilter_verdict(const Resource& resource, Time now, const Range& range,
+                               Proj&& proj) {
+    bool reserved = false;
+    std::size_t pinned = 0;
+    thread_local std::vector<Time> releases_buffer;
+    std::vector<Time>& future = releases_buffer;
+    future.clear();
+    for (const auto& entry : range) {
+        const ScheduleItem& item = proj(entry);
+        if (item.reserved) reserved = true;
+        if (item.pinned_first) ++pinned;
+        else if (item.release > now) future.push_back(item.release);
+    }
+
+    if (!resource.preemptable()) {
+        // Run-to-completion dispatch: with everything released, at most one
+        // pinned head, and no reservation, the mirror scan reproduces the
+        // simulation's completion times exactly (two-plus pinned heads run
+        // in input order, not demand order, so they stay with demand_scan).
+        if (!reserved && pinned <= 1 && future.empty())
+            return dispatch_mirror_scan(now, range, proj);
+        return demand_scan(now, range, proj, /*exact=*/false);
+    }
+
+    const bool plain = !reserved && pinned == 0;
+    const EdfPrefilter anchored = demand_scan(now, range, proj, plain);
+    if (anchored == EdfPrefilter::infeasible) return anchored;
+    if (!plain) return EdfPrefilter::unknown;
+    if (future.empty() || anchored == EdfPrefilter::unknown) return anchored;
+
+    std::sort(future.begin(), future.end());
+    future.erase(std::unique(future.begin(), future.end()), future.end());
+    for (const Time release : future) {
+        double work = 0.0;
+        for (const auto& entry : range) {
+            const ScheduleItem& item = proj(entry);
+            if (item.release < release) continue;
+            work += item.duration;
+            const double slack = item.abs_deadline - release;
+            if (work > slack + 2.0 * kEps + kSafety) return EdfPrefilter::infeasible;
+            if (work > slack - kSafety) return EdfPrefilter::unknown;
+        }
+    }
+    return EdfPrefilter::feasible;
+}
+
 } // namespace
+
+std::size_t insert_demand_ordered(std::vector<ScheduleItem>& items, const ScheduleItem& item) {
+    RMWP_EXPECT(item.duration >= 0.0);
+    const auto pos = std::upper_bound(items.begin(), items.end(), item, demand_order);
+    const auto index = static_cast<std::size_t>(pos - items.begin());
+    items.insert(pos, item);
+    RMWP_ENSURE(index < items.size());
+    RMWP_ENSURE(items[index].uid == item.uid);
+    return index;
+}
 
 ResourceScheduleResult schedule_resource(const Resource& resource, Time now,
                                          std::span<const ScheduleItem> items,
@@ -178,46 +348,46 @@ EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
                                   std::span<const ScheduleItem> items) {
     if (items.empty()) return EdfPrefilter::feasible;
 
-    // Margin against floating-point ordering noise: the prefilter sums
-    // durations in deadline order while the simulation accumulates along its
-    // dispatch path, so the two totals can disagree in the last few ulps
-    // (~1e-8 at the time magnitudes used here).  Verdicts inside the
-    // [kEps - kSafety, kEps + kSafety] band degrade to `unknown`.
-    constexpr double kSafety = 1e-7;
-
     thread_local std::vector<const ScheduleItem*> order_buffer;
     std::vector<const ScheduleItem*>& order = order_buffer;
     order.clear();
     order.reserve(items.size());
-
-    // The exact fast path mirrors the simulation only when dispatch order is
-    // pure EDF from `now`: preemptable resource, nothing reserved (blocks
-    // outrank EDF), nothing pinned, everything already released.
-    bool exact = resource.preemptable();
-    for (const ScheduleItem& item : items) {
-        order.push_back(&item);
-        if (item.reserved || item.pinned_first || item.release > now) exact = false;
-    }
+    for (const ScheduleItem& item : items) order.push_back(&item);
     std::sort(order.begin(), order.end(), [](const ScheduleItem* a, const ScheduleItem* b) {
-        if (a->abs_deadline != b->abs_deadline) return a->abs_deadline < b->abs_deadline;
-        if (a->release != b->release) return a->release < b->release;
-        return a->uid < b->uid;
+        return demand_order(*a, *b);
     });
 
-    double work = 0.0;
-    for (const ScheduleItem* item : order) {
-        work += item->duration;
-        const double slack = item->abs_deadline - now;
-        // Everything with deadline <= this one must execute inside
-        // [now, deadline]; no schedule can create capacity.
-        if (work > slack + kEps + kSafety) return EdfPrefilter::infeasible;
-        if (work > slack + kEps - kSafety) exact = false;
-    }
-    return exact ? EdfPrefilter::feasible : EdfPrefilter::unknown;
+    return prefilter_verdict(resource, now, order,
+                             [](const ScheduleItem* item) -> const ScheduleItem& {
+                                 return *item;
+                             });
+}
+
+EdfPrefilter edf_demand_prefilter_sorted(const Resource& resource, Time now,
+                                         std::span<const ScheduleItem> items) {
+    if (items.empty()) return EdfPrefilter::feasible;
+#ifdef RMWP_AUDIT
+    // The incremental-state drift gate: callers promise demand order.
+    RMWP_EXPECT(std::is_sorted(items.begin(), items.end(), demand_order));
+#endif
+    return prefilter_verdict(resource, now, items,
+                             [](const ScheduleItem& item) -> const ScheduleItem& {
+                                 return item;
+                             });
 }
 
 bool resource_feasible(const Resource& resource, Time now, std::span<const ScheduleItem> items) {
     switch (edf_demand_prefilter(resource, now, items)) {
+    case EdfPrefilter::infeasible: return false;
+    case EdfPrefilter::feasible: return true;
+    case EdfPrefilter::unknown: break;
+    }
+    return simulate_edf(resource, now, items, nullptr, nullptr);
+}
+
+bool resource_feasible_sorted(const Resource& resource, Time now,
+                              std::span<const ScheduleItem> items) {
+    switch (edf_demand_prefilter_sorted(resource, now, items)) {
     case EdfPrefilter::infeasible: return false;
     case EdfPrefilter::feasible: return true;
     case EdfPrefilter::unknown: break;
@@ -234,8 +404,14 @@ WindowSchedule build_window_schedule(const Platform& platform, Time now,
 
     // Operating points of one DVFS core share the core's timeline: group by
     // the physical anchor, so two tasks on different frequency levels of
-    // the same core serialise like any other same-resource pair.
-    std::vector<std::vector<ScheduleItem>> grouped(platform.size());
+    // the same core serialise like any other same-resource pair.  The
+    // grouping buffers are thread-local: the simulator rebuilds the window
+    // after every activation, and per-rebuild vector-of-vectors churn was a
+    // visible slice of the serve-loop profile.
+    thread_local std::vector<std::vector<ScheduleItem>> grouped_buffer;
+    std::vector<std::vector<ScheduleItem>>& grouped = grouped_buffer;
+    if (grouped.size() < platform.size()) grouped.resize(platform.size());
+    for (ResourceId i = 0; i < platform.size(); ++i) grouped[i].clear();
     for (const ScheduleItem& item : items) {
         RMWP_EXPECT(item.resource < platform.size());
         grouped[platform.resource(item.resource).physical()].push_back(item);

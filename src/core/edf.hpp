@@ -44,6 +44,23 @@ enum class EdfPrefilter {
     unknown,    ///< neither certificate holds; run the full simulation
 };
 
+/// The demand-bound scan order: (abs_deadline, release, uid).  A total order
+/// over the distinct items of one resource, so a list kept sorted under it
+/// is exactly what sorting an arbitrary permutation would produce — the
+/// foundation of the incremental (insert-one, scan-prefix) schedulability
+/// state the solvers maintain across probes.
+[[nodiscard]] inline bool demand_order(const ScheduleItem& a, const ScheduleItem& b) noexcept {
+    if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
+    if (a.release != b.release) return a.release < b.release;
+    return a.uid < b.uid;
+}
+
+/// Insert `item` into a demand_order-sorted list, keeping it sorted
+/// (upper_bound, so an equal key lands after existing ones — irrelevant for
+/// the total order, cheap for repeated probe/erase cycles).  Returns the
+/// insertion index so a failed probe can erase in O(1) lookup.
+std::size_t insert_demand_ordered(std::vector<ScheduleItem>& items, const ScheduleItem& item);
+
 /// Cheap schedulability screen, exact in its decisive verdicts:
 ///   * infeasible — for some deadline d, the total work that must finish by
 ///     d exceeds the capacity of [now, d].  Valid for any resource
@@ -60,11 +77,25 @@ enum class EdfPrefilter {
 [[nodiscard]] EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
                                                 std::span<const ScheduleItem> items);
 
+/// edf_demand_prefilter for a list already sorted by demand_order: skips
+/// the per-probe sort and scans the items in place.  Bit-identical verdicts
+/// to the unsorted variant (the duration sum runs in the same order), which
+/// tests/test_edf.cpp pins on random instances.
+[[nodiscard]] EdfPrefilter edf_demand_prefilter_sorted(const Resource& resource, Time now,
+                                                       std::span<const ScheduleItem> items);
+
 /// Fast feasibility-only variant of schedule_resource (no timeline built).
 /// Answers from the demand-bound prefilter when it is decisive; falls back
 /// to the full EDF simulation otherwise.
 [[nodiscard]] bool resource_feasible(const Resource& resource, Time now,
                                      std::span<const ScheduleItem> items);
+
+/// resource_feasible for a demand_order-sorted list (the solvers'
+/// incremental probe path).  Same verdicts as resource_feasible on any
+/// permutation of `items`: the simulation is input-order independent and
+/// the sorted prefilter scans the exact order the unsorted one sorts into.
+[[nodiscard]] bool resource_feasible_sorted(const Resource& resource, Time now,
+                                            std::span<const ScheduleItem> items);
 
 /// Plan the whole window: groups `items` by their `resource` field and runs
 /// schedule_resource on each.  Items mapped to a resource index >= platform

@@ -13,7 +13,10 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-/// Depth-first search state.
+/// Depth-first search state.  Pooled thread-locally (search_scratch):
+/// admission runs the search thousands of times per trace, and the
+/// per-call vector churn (order, suffix bounds, per-resource partial
+/// schedules, per-depth candidate lists) was pure allocator traffic.
 struct Search {
     const PlanInstance* instance = nullptr;
     const ExactRM::Options* options = nullptr;
@@ -21,12 +24,58 @@ struct Search {
     std::vector<std::size_t> order;           ///< task indices, most-constrained first
     std::vector<double> min_cost_suffix;      ///< optimistic cost of order[d..]
     std::vector<std::vector<ScheduleItem>> assigned; ///< per-resource partial schedule
+    std::vector<std::vector<ResourceId>> candidates_by_depth; ///< per-depth scratch
 
     std::vector<ResourceId> current;          ///< current[j] = resource of tasks[j]
     std::vector<ResourceId> best;
     double best_cost = kInfinity;
     bool proven = true;
     std::uint64_t nodes = 0;
+
+    void reset(const PlanInstance& inst, const ExactRM::Options& opts) {
+        instance = &inst;
+        options = &opts;
+        const std::size_t count = inst.tasks.size();
+        const std::size_t n = inst.resource_count();
+
+        // Critical-reservation blocks are fixed occupants of every partial
+        // schedule the search explores; demand order lets the probe loop
+        // keep the lists incrementally sorted.
+        if (assigned.size() < n) assigned.resize(n);
+        for (ResourceId i = 0; i < n; ++i) {
+            assigned[i].clear();
+            assigned[i].insert(assigned[i].end(), inst.blocks[i].begin(), inst.blocks[i].end());
+            std::sort(assigned[i].begin(), assigned[i].end(), demand_order);
+        }
+        if (candidates_by_depth.size() < count) candidates_by_depth.resize(count);
+        current.assign(count, 0);
+        best.clear();
+        best_cost = kInfinity;
+        proven = true;
+        nodes = 0;
+
+        // Most-constrained-first ordering: fewest executable resources,
+        // then earliest deadline.  Pinned tasks have a single option, so
+        // they land at the front and act as fixed context for everything
+        // after them.
+        order.resize(count);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            const PlanTask& ta = inst.tasks[a];
+            const PlanTask& tb = inst.tasks[b];
+            if (ta.executable.size() != tb.executable.size())
+                return ta.executable.size() < tb.executable.size();
+            return ta.abs_deadline < tb.abs_deadline;
+        });
+
+        min_cost_suffix.assign(count + 1, 0.0);
+        for (std::size_t d = count; d-- > 0;) {
+            const PlanTask& task = inst.tasks[order[d]];
+            double cheapest = kInfinity;
+            for (const ResourceId i : task.executable) cheapest = std::min(cheapest, task.epm[i]);
+            min_cost_suffix[d] = min_cost_suffix[d + 1] + cheapest;
+        }
+    }
 
     void dfs(std::size_t depth, double cost) {
         if (nodes >= options->node_limit) {
@@ -47,8 +96,10 @@ struct Search {
         const std::size_t j = order[depth];
         const PlanTask& task = instance->tasks[j];
 
-        // Cheapest-first exploration finds a good incumbent early.
-        std::vector<ResourceId> candidates = task.executable;
+        // Cheapest-first exploration finds a good incumbent early.  Each
+        // recursion depth owns one pooled candidate buffer.
+        std::vector<ResourceId>& candidates = candidates_by_depth[depth];
+        candidates.assign(task.executable.begin(), task.executable.end());
         std::sort(candidates.begin(), candidates.end(),
                   [&](ResourceId a, ResourceId b) { return task.epm[a] < task.epm[b]; });
 
@@ -59,19 +110,25 @@ struct Search {
             // Operating points of a DVFS core share the core's timeline, so
             // partial schedules are kept per physical anchor.
             const ResourceId anchor = instance->platform->resource(i).physical();
-            assigned[anchor].push_back(instance->item_for(j, i));
+            const std::size_t pos =
+                insert_demand_ordered(assigned[anchor], instance->item_for(j, i));
             // Adding a task to a core can only hurt that core's EDF
             // feasibility, so checking the touched core alone is exact.
-            if (resource_feasible(instance->platform->resource(anchor), instance->now,
-                                  assigned[anchor])) {
+            if (resource_feasible_sorted(instance->platform->resource(anchor), instance->now,
+                                         assigned[anchor])) {
                 current[j] = i;
                 dfs(depth + 1, next_cost);
             }
-            assigned[anchor].pop_back();
+            assigned[anchor].erase(assigned[anchor].begin() + static_cast<std::ptrdiff_t>(pos));
             if (!proven && best.empty()) return; // out of budget with no incumbent
         }
     }
 };
+
+Search& search_scratch() {
+    static thread_local Search search;
+    return search;
+}
 
 } // namespace
 
@@ -81,42 +138,15 @@ std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
     RMWP_EXPECT(instance.platform != nullptr);
     RMWP_EXPECT(instance.blocks.size() == instance.platform->size());
 
-    Search search;
-    search.instance = &instance;
-    search.options = &options;
-    // Critical-reservation blocks are fixed occupants of every partial
-    // schedule the search explores.
-    search.assigned = instance.blocks;
-    search.current.assign(count, 0);
-
-    // Most-constrained-first ordering: fewest executable resources, then
-    // earliest deadline.  Pinned tasks have a single option, so they land at
-    // the front and act as fixed context for everything after them.
-    search.order.resize(count);
-    std::iota(search.order.begin(), search.order.end(), std::size_t{0});
-    std::sort(search.order.begin(), search.order.end(), [&](std::size_t a, std::size_t b) {
-        const PlanTask& ta = instance.tasks[a];
-        const PlanTask& tb = instance.tasks[b];
-        if (ta.executable.size() != tb.executable.size())
-            return ta.executable.size() < tb.executable.size();
-        return ta.abs_deadline < tb.abs_deadline;
-    });
-
-    search.min_cost_suffix.assign(count + 1, 0.0);
-    for (std::size_t d = count; d-- > 0;) {
-        const PlanTask& task = instance.tasks[search.order[d]];
-        double cheapest = kInfinity;
-        for (const ResourceId i : task.executable) cheapest = std::min(cheapest, task.epm[i]);
-        search.min_cost_suffix[d] = search.min_cost_suffix[d + 1] + cheapest;
-    }
-
+    Search& search = search_scratch();
+    search.reset(instance, options);
     search.dfs(0, 0.0);
 
     if (proven_out != nullptr) *proven_out = search.proven;
     if (search.best.empty()) return std::nullopt;
     RMWP_ENSURE(search.best.size() == count);
     Result result;
-    result.mapping = std::move(search.best);
+    result.mapping = search.best; // copy: the incumbent buffer stays pooled
     result.energy = search.best_cost;
     result.proven_optimal = search.proven;
     result.nodes = search.nodes;
@@ -142,6 +172,31 @@ Decision ExactRM::decide(const ArrivalContext& context) {
     RMWP_ENSURE(decision.admitted || decision.reason == RejectReason::proved_infeasible ||
                 decision.reason == RejectReason::solver_infeasible);
     return decision;
+}
+
+void ExactRM::decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) {
+    RMWP_EXPECT(batch.platform != nullptr && batch.catalog != nullptr);
+    BatchPlanner planner(batch);
+    out.clear();
+    out.reserve(batch.items.size());
+    for (std::size_t m = 0; m < planner.item_count(); ++m) {
+        bool proven = true;
+        Decision decision = run_admission_ladder_batch(
+            planner, m,
+            [this,
+             &proven](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+                bool step_proven = true;
+                if (auto result = optimize(instance, options_, &step_proven))
+                    return std::move(result->mapping);
+                proven = proven && step_proven;
+                return std::nullopt;
+            });
+        if (!decision.admitted)
+            decision.reason =
+                proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
+        out.push_back(std::move(decision));
+    }
+    RMWP_ENSURE(out.size() == batch.items.size());
 }
 
 RescueDecision ExactRM::rescue(const RescueContext& context) {

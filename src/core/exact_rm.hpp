@@ -44,6 +44,9 @@ public:
     explicit ExactRM(Options options) : options_(options) {}
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    /// Batched admission over the shared BatchPlanner base: one plan
+    /// rebuild per batch, bit-identical decisions to sequential decide()s.
+    void decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) override;
     [[nodiscard]] RescueDecision rescue(const RescueContext& context) override;
     [[nodiscard]] std::string name() const override { return "exact"; }
 

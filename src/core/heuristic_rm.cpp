@@ -18,16 +18,18 @@ constexpr double kBigM = 1e9;
 
 } // namespace
 
-std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance& instance,
+std::optional<std::span<const ResourceId>> HeuristicRM::map_tasks(const PlanInstance& instance,
                                                               const Options& options) {
     const std::size_t n = instance.resource_count();
     const std::size_t count = instance.tasks.size();
 
     const Platform& platform = *instance.platform;
-    auto phys = [&](ResourceId i) { return platform.resource(i).physical(); };
 
     PlanScratch& s = PlanScratch::local();
     s.reset(instance);
+    // Physical anchors resolved once by reset(); the refresh and placement
+    // loops below read this table millions of times per serve run.
+    auto phys = [&](ResourceId i) { return s.phys[i]; };
 
     // Lines 1-6: capacities and desirabilities.  Capacities live on
     // *physical* cores (operating points of a DVFS core share one
@@ -132,9 +134,14 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
             }
             if (target == n) return std::nullopt; // lines 31-32: no more resources
 
+            // The per-anchor lists stay demand-ordered across probes
+            // (insert / erase-at-index), so the schedulability check scans
+            // them in place instead of re-sorting per probe.
             const ResourceId anchor = phys(target);
-            s.assigned[anchor].push_back(instance.item_for(best_task, target));
-            if (resource_feasible(platform.resource(anchor), instance.now, s.assigned[anchor])) {
+            const std::size_t pos =
+                insert_demand_ordered(s.assigned[anchor], instance.item_for(best_task, target));
+            if (resource_feasible_sorted(platform.resource(anchor), instance.now,
+                                         s.assigned[anchor])) {
                 s.mapping[best_task] = target;
                 s.mapped[best_task] = 1;
                 s.capacity[anchor] -= task.cpm[target];
@@ -147,14 +154,15 @@ std::optional<std::vector<ResourceId>> HeuristicRM::map_tasks(const PlanInstance
                     if (!use_masks || ((s.anchor_mask[j] >> anchor) & 1u)) s.dirty[j] = 1;
                 }
             } else {
-                s.assigned[anchor].pop_back();
+                s.assigned[anchor].erase(s.assigned[anchor].begin() +
+                                         static_cast<std::ptrdiff_t>(pos));
                 row_excluded[target] = 1;
                 s.dirty[best_task] = 1;
             }
         }
     }
 
-    return std::vector<ResourceId>(s.mapping.begin(), s.mapping.end());
+    return std::span<const ResourceId>(s.mapping);
 }
 
 Decision HeuristicRM::decide(const ArrivalContext& context) {
@@ -165,6 +173,21 @@ Decision HeuristicRM::decide(const ArrivalContext& context) {
     if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
     RMWP_ENSURE(decision.admitted || decision.reason == RejectReason::heuristic_exhausted);
     return decision;
+}
+
+void HeuristicRM::decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) {
+    RMWP_EXPECT(batch.platform != nullptr && batch.catalog != nullptr);
+    BatchPlanner planner(batch);
+    out.clear();
+    out.reserve(batch.items.size());
+    for (std::size_t m = 0; m < planner.item_count(); ++m) {
+        Decision decision = run_admission_ladder_batch(planner, m, [this](const PlanInstance& instance) {
+            return map_tasks(instance, options_);
+        });
+        if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
+        out.push_back(std::move(decision));
+    }
+    RMWP_ENSURE(out.size() == batch.items.size());
 }
 
 RescueDecision HeuristicRM::rescue(const RescueContext& context) {

@@ -13,6 +13,7 @@
 #include "core/plan_instance.hpp"
 
 #include <optional>
+#include <span>
 
 namespace rmwp {
 
@@ -41,15 +42,21 @@ public:
     explicit HeuristicRM(Options options) : options_(options) {}
 
     [[nodiscard]] Decision decide(const ArrivalContext& context) override;
+    /// Batched admission over the shared BatchPlanner base: one plan
+    /// rebuild per batch, bit-identical decisions to sequential decide()s.
+    void decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) override;
     [[nodiscard]] RescueDecision rescue(const RescueContext& context) override;
     [[nodiscard]] std::string name() const override { return "heuristic"; }
 
     /// Run Algorithm 1 on a prepared instance.  Returns the per-task mapping
     /// (indexed like instance.tasks) or nullopt when no feasible mapping of
-    /// the complete task set was found.
-    [[nodiscard]] static std::optional<std::vector<ResourceId>> map_tasks(
+    /// the complete task set was found.  The span views this thread's
+    /// PlanScratch arena — valid until the next map_tasks call on the same
+    /// thread; copy it to keep it (keeps the admission hot path free of
+    /// per-decision heap allocations, pinned by tests/test_alloc_count.cpp).
+    [[nodiscard]] static std::optional<std::span<const ResourceId>> map_tasks(
         const PlanInstance& instance, const Options& options);
-    [[nodiscard]] static std::optional<std::vector<ResourceId>> map_tasks(
+    [[nodiscard]] static std::optional<std::span<const ResourceId>> map_tasks(
         const PlanInstance& instance) {
         return map_tasks(instance, Options{});
     }

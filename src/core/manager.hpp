@@ -127,11 +127,48 @@ struct RescueDecision {
     std::vector<TaskUid> aborted;
 };
 
+/// One arrival of a coalesced batch: the candidate plus the predictions
+/// that were current when it was observed (predictors are fed in arrival
+/// order before the batch decision, so item m's predictions already reflect
+/// items 0..m-1 — exactly the sequential interleaving).
+struct BatchItem {
+    ActiveTask candidate;
+    std::vector<PredictedTask> predicted;
+};
+
+/// A coalesced activation: several arrivals sharing one decision instant.
+/// `active` is the admitted set as of `now`; decisions are taken item by
+/// item in order, each against the state left by the previous admissions —
+/// the batch entry point exists so RMs can share the per-activation setup
+/// (plan rebuild, block refresh, demand-bound state) across the items, not
+/// to change semantics.
+struct BatchArrivalContext {
+    Time now = 0.0;
+    const Platform* platform = nullptr;
+    const Catalog* catalog = nullptr;
+    std::span<const ActiveTask> active;
+    std::span<const BatchItem> items;
+    const ReservationTable* reservations = nullptr;
+    const PlatformHealth* health = nullptr;
+
+    [[nodiscard]] const TaskType& type_of(const ActiveTask& task) const {
+        return catalog->type(task.type);
+    }
+};
+
 /// Abstract resource manager.
 class ResourceManager {
 public:
     virtual ~ResourceManager() = default;
     [[nodiscard]] virtual Decision decide(const ArrivalContext& context) = 0;
+    /// Decide a batch of same-instant arrivals, appending one Decision per
+    /// item (in item order) to `out`.  Contract: `decide_batch({t})` is
+    /// bit-identical to `decide(t)`, and a multi-item batch is bit-identical
+    /// to deciding the items sequentially at the same instant (the engine's
+    /// differential tests pin both).  The default implementation is exactly
+    /// that sequential emulation over a working copy of the active set;
+    /// solver RMs override it to amortise per-activation setup.
+    virtual void decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out);
     /// Fault-rescue re-planning.  The default implementation is the
     /// non-replanning fallback (used by BaselineRM): tasks stay on their
     /// current resource; anything displaced, or no longer schedulable in
@@ -140,6 +177,15 @@ public:
     [[nodiscard]] virtual RescueDecision rescue(const RescueContext& context);
     [[nodiscard]] virtual std::string name() const = 0;
 };
+
+/// Apply the RM-visible effects of an admitted decision to a working active
+/// set: push the candidate on its assigned resource, and for every moved
+/// task update `resource` (plus `pending_overhead` when it already started,
+/// mirroring the simulator's migration accounting).  This is the exact
+/// state a sequential decision sequence would expose to the next decision,
+/// so batch emulation paths stay bit-identical to per-arrival admission.
+void apply_decision_to_active(const Catalog& catalog, const Decision& decision,
+                              const ActiveTask& candidate, std::vector<ActiveTask>& active);
 
 /// Build the ScheduleItem for a real task under a candidate assignment.
 /// With a health mask, the duration is inflated by the target resource's

@@ -4,26 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "core/edf.hpp"
 #include "core/reservation.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
 namespace {
 
-PlanTask make_plan_task(const Platform& platform, const TaskType& type, Time now,
-                        const ActiveTask& task, bool is_candidate,
-                        const PlatformHealth* health) {
+/// Fill one real task's row in place, reusing the PlanTask's vector
+/// capacities.  Every field is (re)assigned — the shell may hold a stale
+/// row from a previous activation.
+void fill_real_task(PlanTask& plan, const Platform& platform, const TaskType& type, Time now,
+                    const ActiveTask& task, bool is_candidate, const PlatformHealth* health) {
     const std::size_t n = platform.size();
 
-    PlanTask plan;
     plan.uid = task.uid;
     plan.release = now;
     plan.abs_deadline = task.absolute_deadline;
     plan.pinned = task.pinned;
     plan.pinned_resource = task.resource;
+    plan.is_predicted = false;
     plan.is_candidate = is_candidate;
     plan.cpm.assign(n, std::numeric_limits<double>::infinity());
     plan.epm.assign(n, std::numeric_limits<double>::infinity());
+    plan.executable.clear();
     for (ResourceId i = 0; i < n; ++i) {
         if (!type.executable_on(i)) continue;
         if (task.pinned && i != task.resource) continue;
@@ -40,22 +44,25 @@ PlanTask make_plan_task(const Platform& platform, const TaskType& type, Time now
     // (admission) or aborts it (rescue).  On a healthy platform every task
     // has at least one executable resource by construction.
     RMWP_ENSURE(health != nullptr || !plan.executable.empty());
-    return plan;
 }
 
-PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& predicted,
-                        std::size_t step) {
-    const TaskType& type = context.catalog->type(predicted.type);
-    const std::size_t n = context.platform->size();
-    const PlatformHealth* health = context.health;
+/// Fill one predicted (virtual) task's row in place.
+void fill_predicted_task(PlanTask& plan, const Platform& platform, const Catalog& catalog,
+                         const PlatformHealth* health, Time now, const PredictedTask& predicted,
+                         std::size_t step) {
+    const TaskType& type = catalog.type(predicted.type);
+    const std::size_t n = platform.size();
 
-    PlanTask plan;
     plan.uid = kPredictedUidBase + step;
-    plan.release = std::max(predicted.arrival, context.now);
+    plan.release = std::max(predicted.arrival, now);
     plan.abs_deadline = predicted.absolute_deadline();
+    plan.pinned = false;
+    plan.pinned_resource = 0;
     plan.is_predicted = true;
+    plan.is_candidate = false;
     plan.cpm.assign(n, std::numeric_limits<double>::infinity());
     plan.epm.assign(n, std::numeric_limits<double>::infinity());
+    plan.executable.clear();
     for (ResourceId i = 0; i < n; ++i) {
         if (!type.executable_on(i)) continue;
         if (health != nullptr && !health->online(i)) continue;
@@ -65,52 +72,141 @@ PlanTask make_plan_task(const ArrivalContext& context, const PredictedTask& pred
         plan.executable.push_back(i);
     }
     RMWP_ENSURE(health != nullptr || !plan.executable.empty());
-    return plan;
+}
+
+/// Resize a pooled task list without destroying PlanTask heap buffers:
+/// surplus shells park in `spare` and return on the next growth, so the
+/// ladder's rung-to-rung (and the batch planner's item-to-item) resizes do
+/// no steady-state allocation.
+void set_task_count(std::vector<PlanTask>& tasks, std::vector<PlanTask>& spare,
+                    std::size_t count) {
+    while (tasks.size() > count) {
+        spare.push_back(std::move(tasks.back()));
+        tasks.pop_back();
+    }
+    while (tasks.size() < count) {
+        if (spare.empty()) {
+            tasks.emplace_back();
+        } else {
+            tasks.push_back(std::move(spare.back()));
+            spare.pop_back();
+        }
+    }
 }
 
 /// Reservation blocks intersecting [now, now + window), grouped per
 /// physical core (reservations occupy the core whatever operating point
 /// other work uses), plus the per-core blocked-time capacity reduction.
 ///
-/// Memoised: the admission ladder rebuilds the instance once per rung, and
-/// the rungs almost always share the same (table, now, window) key — the
-/// active set usually dominates the window max — so the periodic expansion
-/// is computed once per activation and the later rungs copy the cached,
-/// dispatch-ordered blocks instead of re-querying the ReservationTable per
-/// resource.  The key uses the table's revision (process-unique, contents
+/// Memoised at two levels.  The raw expansion is computed once per
+/// (table, now) at the largest window seen — blocks_for never clips a
+/// block's duration at the far end, so any narrower window's block set is
+/// the exact generation-order subsequence with release < now + window, and
+/// the blocked-time float sums (accumulated in generation order) come out
+/// bit-identical to a direct query.  The derived per-window set is then
+/// cached for the admission ladder's rungs, which almost always share one
+/// window.  The key uses the table's revision (process-unique, contents
 /// immutable), never its address, so recycled allocations cannot alias.
 void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
     const std::size_t n = instance.platform->size();
     instance.blocks.resize(n);
     instance.blocked_time.assign(n, 0.0);
-    if (reservations == nullptr || reservations->empty()) return;
+    if (reservations == nullptr || reservations->empty()) {
+        // The instance may be pooled: drop any stale blocks of a previous
+        // activation that did have reservations.
+        for (auto& anchor_blocks : instance.blocks) anchor_blocks.clear();
+        return;
+    }
 
     struct BlockCache {
         std::uint64_t revision = 0;
         Time now = -1.0;
-        Time window = -1.0;
         std::size_t resources = 0;
+        // Raw expansion at `horizon`, per anchor, in generation order.
+        Time horizon = -1.0;
+        std::vector<std::vector<ScheduleItem>> raw;
+        // Derived (filtered + dispatch-sorted) set for `window`.
+        Time window = -1.0;
         std::vector<std::vector<ScheduleItem>> blocks;
         std::vector<double> blocked_time;
     };
     thread_local BlockCache cache;
-    if (cache.revision != reservations->revision() || cache.now != instance.now ||
-        cache.window != instance.window || cache.resources != n) {
+
+    const bool base_hit = cache.revision == reservations->revision() &&
+                          cache.now == instance.now && cache.resources == n;
+    if (!base_hit || instance.window > cache.horizon) {
         cache.revision = reservations->revision();
         cache.now = instance.now;
-        cache.window = instance.window;
         cache.resources = n;
-        cache.blocks.assign(n, {});
-        cache.blocked_time.assign(n, 0.0);
+        cache.horizon = instance.window;
+        cache.raw.assign(n, {});
         for (ResourceId i = 0; i < n; ++i) {
             const ResourceId anchor = instance.platform->resource(i).physical();
             auto blocks =
                 reservations->blocks_for(i, instance.now, instance.now + instance.window);
-            for (const ScheduleItem& block : blocks)
-                cache.blocked_time[anchor] += block.duration;
-            cache.blocks[anchor].insert(cache.blocks[anchor].end(), blocks.begin(),
-                                        blocks.end());
+            cache.raw[anchor].insert(cache.raw[anchor].end(), blocks.begin(), blocks.end());
         }
+        cache.window = -2.0; // invalidate the derived level
+    }
+
+    if (cache.window != instance.window) {
+        cache.window = instance.window;
+        cache.blocks.assign(n, {});
+        cache.blocked_time.assign(n, 0.0);
+        if (instance.window <= 0.0) {
+            // Degenerate window: `release` collapses start==now with
+            // start<now, which decide inclusion at width zero differently —
+            // fall back to a direct query (cold: real admissions always
+            // have a positive window).
+            for (ResourceId i = 0; i < n; ++i) {
+                const ResourceId anchor = instance.platform->resource(i).physical();
+                auto blocks =
+                    reservations->blocks_for(i, instance.now, instance.now + instance.window);
+                for (const ScheduleItem& block : blocks)
+                    cache.blocked_time[anchor] += block.duration;
+                cache.blocks[anchor].insert(cache.blocks[anchor].end(), blocks.begin(),
+                                            blocks.end());
+            }
+        } else {
+            // A block intersects [now, now + window) iff it starts before
+            // the window end; for positive windows that is exactly
+            // release < now + window (an in-progress block has
+            // release == now < end).
+            const Time until = instance.now + instance.window;
+            for (ResourceId anchor = 0; anchor < n; ++anchor) {
+                for (const ScheduleItem& block : cache.raw[anchor]) {
+                    if (block.release >= until) continue;
+                    cache.blocked_time[anchor] += block.duration;
+                    cache.blocks[anchor].push_back(block);
+                }
+            }
+        }
+#ifdef RMWP_AUDIT
+        // Drift gate for the superset-filter shortcut: a direct expansion
+        // at this exact window must agree block-for-block and bit-for-bit
+        // on the accumulated blocked time.
+        {
+            std::vector<std::vector<ScheduleItem>> direct(n);
+            std::vector<double> direct_time(n, 0.0);
+            for (ResourceId i = 0; i < n; ++i) {
+                const ResourceId anchor = instance.platform->resource(i).physical();
+                auto blocks =
+                    reservations->blocks_for(i, instance.now, instance.now + instance.window);
+                for (const ScheduleItem& block : blocks)
+                    direct_time[anchor] += block.duration;
+                direct[anchor].insert(direct[anchor].end(), blocks.begin(), blocks.end());
+            }
+            for (ResourceId anchor = 0; anchor < n; ++anchor) {
+                RMWP_ENSURE(direct_time[anchor] == cache.blocked_time[anchor]);
+                RMWP_ENSURE(direct[anchor].size() == cache.blocks[anchor].size());
+                for (std::size_t b = 0; b < direct[anchor].size(); ++b) {
+                    RMWP_ENSURE(direct[anchor][b].uid == cache.blocks[anchor][b].uid);
+                    RMWP_ENSURE(direct[anchor][b].release == cache.blocks[anchor][b].release);
+                    RMWP_ENSURE(direct[anchor][b].duration == cache.blocks[anchor][b].duration);
+                }
+            }
+        }
+#endif
         // Dispatch order (release time): keeps every consumer — solver
         // probes, the demand prefilter's deadline scan — from re-ordering
         // the same immovable windows on every probe.
@@ -128,31 +224,38 @@ void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
 } // namespace
 
 PlanInstance PlanInstance::build(const ArrivalContext& context, std::size_t predicted_count) {
+    PlanPool pool;
+    (void)build_into(pool, context, predicted_count);
+    return std::move(pool.instance);
+}
+
+const PlanInstance& PlanInstance::build_into(PlanPool& pool, const ArrivalContext& context,
+                                             std::size_t predicted_count) {
     RMWP_EXPECT(context.platform != nullptr);
     RMWP_EXPECT(context.catalog != nullptr);
 
-    PlanInstance instance;
+    PlanInstance& instance = pool.instance;
     instance.platform = context.platform;
     instance.now = context.now;
     instance.predicted_count = std::min(predicted_count, context.predicted.size());
     instance.window = planning_window(context, instance.predicted_count);
 
-    instance.tasks.reserve(context.active.size() + 1 + instance.predicted_count);
+    const std::size_t count = context.active.size() + 1 + instance.predicted_count;
+    set_task_count(instance.tasks, pool.spare, count);
+    std::size_t j = 0;
     for (const ActiveTask& task : context.active)
-        instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(task),
-                                                context.now, task, /*is_candidate=*/false,
-                                                context.health));
-    instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(context.candidate),
-                                            context.now, context.candidate,
-                                            /*is_candidate=*/true, context.health));
+        fill_real_task(instance.tasks[j++], *context.platform, context.type_of(task), context.now,
+                       task, /*is_candidate=*/false, context.health);
+    fill_real_task(instance.tasks[j++], *context.platform, context.type_of(context.candidate),
+                   context.now, context.candidate, /*is_candidate=*/true, context.health);
     for (std::size_t k = 0; k < instance.predicted_count; ++k)
-        instance.tasks.push_back(make_plan_task(context, context.predicted[k], k));
+        fill_predicted_task(instance.tasks[j++], *context.platform, *context.catalog,
+                            context.health, context.now, context.predicted[k], k);
 
     fill_blocks(instance, context.reservations);
     // Instance-shape invariant every solver relies on: active tasks first,
     // then the candidate, then the predicted tail; window covers all of it.
-    RMWP_ENSURE(instance.tasks.size() ==
-                context.active.size() + 1 + instance.predicted_count);
+    RMWP_ENSURE(instance.tasks.size() == count);
     RMWP_ENSURE(instance.window >= 0.0);
     return instance;
 }
@@ -169,14 +272,161 @@ PlanInstance PlanInstance::build_rescue(const RescueContext& context,
     for (const ActiveTask& task : tasks)
         instance.window = std::max(instance.window, task.absolute_deadline - context.now);
 
-    instance.tasks.reserve(tasks.size());
-    for (const ActiveTask& task : tasks)
-        instance.tasks.push_back(make_plan_task(*context.platform, context.type_of(task),
-                                                context.now, task, /*is_candidate=*/false,
-                                                context.health));
+    instance.tasks.resize(tasks.size());
+    for (std::size_t j = 0; j < tasks.size(); ++j)
+        fill_real_task(instance.tasks[j], *context.platform, context.type_of(tasks[j]),
+                       context.now, tasks[j], /*is_candidate=*/false, context.health);
 
     fill_blocks(instance, context.reservations);
     return instance;
+}
+
+PlanPool& PlanPool::local() {
+    static thread_local PlanPool pool;
+    return pool;
+}
+
+namespace {
+
+/// Thread-local backing store for BatchPlanner (see the class comment):
+/// the working active set, the pooled instance, and the parked PlanTask
+/// shells all survive across batches, so their capacities are reused.
+struct BatchArena {
+    std::vector<ActiveTask> working;
+    PlanInstance instance;
+    std::vector<PlanTask> spare;
+
+    static BatchArena& local() {
+        static thread_local BatchArena arena;
+        return arena;
+    }
+};
+
+} // namespace
+
+BatchPlanner::BatchPlanner(const BatchArrivalContext& batch)
+    : batch_(&batch), working_(BatchArena::local().working),
+      instance_(BatchArena::local().instance), spare_(BatchArena::local().spare) {
+    RMWP_EXPECT(batch.platform != nullptr);
+    RMWP_EXPECT(batch.catalog != nullptr);
+    working_.assign(batch.active.begin(), batch.active.end());
+    base_count_ = working_.size();
+    instance_.platform = batch.platform;
+    instance_.now = batch.now;
+    set_task_count(instance_.tasks, spare_, base_count_);
+    for (std::size_t j = 0; j < base_count_; ++j)
+        fill_real_task(instance_.tasks[j], *batch.platform, batch.type_of(working_[j]), batch.now,
+                       working_[j], /*is_candidate=*/false, batch.health);
+}
+
+const PlanInstance& BatchPlanner::assemble(std::size_t m, std::size_t k) {
+    RMWP_EXPECT(m < batch_->items.size());
+    const BatchItem& item = batch_->items[m];
+    RMWP_EXPECT(k <= item.predicted.size());
+
+    const std::size_t count = base_count_ + 1 + k;
+    set_task_count(instance_.tasks, spare_, count);
+    if (candidate_for_ != m) {
+        fill_real_task(instance_.tasks[base_count_], *batch_->platform,
+                       batch_->type_of(item.candidate), batch_->now, item.candidate,
+                       /*is_candidate=*/true, batch_->health);
+        candidate_for_ = m;
+    }
+    for (std::size_t p = 0; p < k; ++p)
+        fill_predicted_task(instance_.tasks[base_count_ + 1 + p], *batch_->platform,
+                            *batch_->catalog, batch_->health, batch_->now, item.predicted[p], p);
+    instance_.predicted_count = k;
+
+    // K-bar over exactly the included tasks — the same max planning_window
+    // computes on the equivalent sequential context (max is exact, so the
+    // accumulation order cannot matter).
+    Time latest = item.candidate.absolute_deadline;
+    for (const ActiveTask& task : working_) latest = std::max(latest, task.absolute_deadline);
+    for (std::size_t p = 0; p < k; ++p)
+        latest = std::max(latest, item.predicted[p].absolute_deadline());
+    RMWP_ENSURE(latest >= batch_->now);
+    instance_.window = latest - batch_->now;
+
+    fill_blocks(instance_, batch_->reservations);
+    RMWP_ENSURE(instance_.tasks.size() == count);
+
+#ifdef RMWP_AUDIT
+    // The incremental-base drift gate: a from-scratch build of the
+    // equivalent sequential context must agree on every field.
+    {
+        ArrivalContext reference;
+        reference.now = batch_->now;
+        reference.platform = batch_->platform;
+        reference.catalog = batch_->catalog;
+        reference.active = working_;
+        reference.candidate = item.candidate;
+        reference.predicted.assign(item.predicted.begin(), item.predicted.end());
+        reference.reservations = batch_->reservations;
+        reference.health = batch_->health;
+        const PlanInstance rebuilt = PlanInstance::build(reference, k);
+        RMWP_ENSURE(rebuilt.window == instance_.window);
+        RMWP_ENSURE(rebuilt.predicted_count == instance_.predicted_count);
+        RMWP_ENSURE(rebuilt.tasks.size() == instance_.tasks.size());
+        for (std::size_t j = 0; j < rebuilt.tasks.size(); ++j) {
+            const PlanTask& a = rebuilt.tasks[j];
+            const PlanTask& b = instance_.tasks[j];
+            RMWP_ENSURE(a.uid == b.uid);
+            RMWP_ENSURE(a.release == b.release && a.abs_deadline == b.abs_deadline);
+            RMWP_ENSURE(a.pinned == b.pinned && a.pinned_resource == b.pinned_resource);
+            RMWP_ENSURE(a.is_predicted == b.is_predicted && a.is_candidate == b.is_candidate);
+            RMWP_ENSURE(a.cpm == b.cpm && a.epm == b.epm);
+            RMWP_ENSURE(a.executable == b.executable);
+        }
+        RMWP_ENSURE(rebuilt.blocked_time == instance_.blocked_time);
+    }
+#endif
+    return instance_;
+}
+
+Decision BatchPlanner::admit(std::size_t m, std::span<const ResourceId> mapping) {
+    // admit() must follow an assemble() of the same item: the pooled
+    // instance still holds that item's rung.
+    RMWP_EXPECT(candidate_for_ == m);
+    const ActiveTask& candidate = batch_->items[m].candidate;
+
+    Decision decision;
+    decision.admitted = true;
+    decision.assignments = instance_.real_assignments(mapping);
+
+    // Fold the admission into the shared working set, mirroring the
+    // simulator's RM-visible apply() (see apply_decision_to_active), and
+    // refresh exactly the base rows whose task moved.
+    const Catalog& catalog = *batch_->catalog;
+    for (const TaskAssignment& assignment : decision.assignments) {
+        if (assignment.uid == candidate.uid) {
+            ActiveTask admitted = candidate;
+            admitted.resource = assignment.resource;
+            working_.push_back(admitted);
+            continue;
+        }
+        std::size_t j = 0;
+        while (j < base_count_ && working_[j].uid != assignment.uid) ++j;
+        RMWP_ENSURE(j < base_count_);
+        ActiveTask& task = working_[j];
+        if (assignment.resource == task.resource) continue;
+        RMWP_ENSURE(!task.pinned); // non-preemptable tasks never move
+        if (task.started)
+            task.pending_overhead =
+                catalog.type(task.type).migration_time(task.resource, assignment.resource);
+        task.resource = assignment.resource;
+        fill_real_task(instance_.tasks[j], *batch_->platform, batch_->type_of(task), batch_->now,
+                       task, /*is_candidate=*/false, batch_->health);
+    }
+    RMWP_ENSURE(working_.size() == base_count_ + 1);
+
+    // The admitted candidate joins the base: its row is recomputed as a
+    // plain active task (resource now set, is_candidate cleared).
+    fill_real_task(instance_.tasks[base_count_], *batch_->platform,
+                   batch_->type_of(working_.back()), batch_->now, working_.back(),
+                   /*is_candidate=*/false, batch_->health);
+    ++base_count_;
+    candidate_for_ = kNoItem;
+    return decision;
 }
 
 ScheduleItem PlanInstance::item_for(std::size_t index, ResourceId i) const {
@@ -211,11 +461,21 @@ void PlanScratch::reset(const PlanInstance& instance) {
     dirty.assign(count, 1);
     anchor_mask.assign(count, 0);
 
+    // The physical anchor of each resource is immutable platform data, but
+    // the solver reads it in its innermost loops — resolve the indirection
+    // once per reset.
+    phys.resize(n);
+    for (ResourceId i = 0; i < n; ++i) phys[i] = instance.platform->resource(i).physical();
+
     if (assigned.size() < n) assigned.resize(n);
     for (ResourceId i = 0; i < n; ++i) {
         assigned[i].clear();
         assigned[i].insert(assigned[i].end(), instance.blocks[i].begin(),
                            instance.blocks[i].end());
+        // Demand order once per reset, so the solver's probe loop can keep
+        // the list incrementally sorted (insert_demand_ordered) and skip
+        // the prefilter's per-probe sort.
+        std::sort(assigned[i].begin(), assigned[i].end(), demand_order);
     }
 }
 
@@ -225,7 +485,7 @@ PlanScratch& PlanScratch::local() {
 }
 
 std::vector<TaskAssignment> PlanInstance::real_assignments(
-    const std::vector<ResourceId>& mapping) const {
+    std::span<const ResourceId> mapping) const {
     RMWP_EXPECT(mapping.size() == tasks.size());
     std::vector<TaskAssignment> assignments;
     assignments.reserve(tasks.size());

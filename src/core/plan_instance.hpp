@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/manager.hpp"
@@ -33,6 +34,8 @@ struct PlanTask {
     [[nodiscard]] Time time_left(Time now) const noexcept { return abs_deadline - now; }
 };
 
+struct PlanPool;
+
 /// The full instance for one activation.
 struct PlanInstance {
     const Platform* platform = nullptr;
@@ -54,6 +57,16 @@ struct PlanInstance {
     [[nodiscard]] static PlanInstance build(const ArrivalContext& context,
                                             std::size_t predicted_count);
 
+    /// build() into a caller-owned arena: fills `pool.instance` in place,
+    /// reusing every per-task vector capacity, and returns a reference to
+    /// it.  Field-identical to build() on the same context (an RMWP_AUDIT
+    /// drift check in the batch planner compares the two), but free of
+    /// steady-state heap allocations — this is what the admission ladder
+    /// runs on.  The reference is valid until the next build_into on the
+    /// same pool.
+    static const PlanInstance& build_into(PlanPool& pool, const ArrivalContext& context,
+                                          std::size_t predicted_count);
+
     /// Build a fault-rescue instance over `tasks` (a subset of the rescue
     /// context's survivors): no candidate, no predicted task, resource
     /// health applied (offline resources excluded from `executable`,
@@ -70,7 +83,65 @@ struct PlanInstance {
     /// Convert a per-task resource assignment into Decision assignments for
     /// the real tasks (predicted excluded).
     [[nodiscard]] std::vector<TaskAssignment> real_assignments(
-        const std::vector<ResourceId>& mapping) const;
+        std::span<const ResourceId> mapping) const;
+};
+
+/// Arena for pooled PlanInstance construction (build_into).  `spare` parks
+/// surplus PlanTask shells — shrinking the task list must not destroy their
+/// heap buffers, or the next deeper ladder rung would reallocate them.
+/// Obtain via local(): thread-local for the same reason as PlanScratch (one
+/// RM object is shared across the parallel experiment engine's threads).
+struct PlanPool {
+    PlanInstance instance;
+    std::vector<PlanTask> spare;
+
+    /// The calling thread's pool.
+    [[nodiscard]] static PlanPool& local();
+};
+
+/// Shared planning state for one coalesced batch of same-instant arrivals:
+/// the working active set (base) is materialised as plan tasks once, and
+/// each item's ladder rungs only rewrite the candidate + predicted tail of
+/// the pooled instance.  On admission the candidate folds into the base and
+/// only rows whose task actually moved are recomputed — one plan rebuild
+/// per batch instead of one per (item × rung).  Under RMWP_AUDIT every
+/// assembled instance is compared field-by-field against a from-scratch
+/// PlanInstance::build of the equivalent sequential context, proving the
+/// incremental base never drifts.
+class BatchPlanner {
+public:
+    /// Buffers (working set, pooled instance, spare task shells) live on a
+    /// thread-local arena, so a steady stream of batches does no heap work
+    /// beyond the Decision outputs (pinned by tests/test_alloc_count.cpp).
+    /// Consequently at most one BatchPlanner may be live per thread — the
+    /// one-per-decide_batch usage of the solver RMs.
+    explicit BatchPlanner(const BatchArrivalContext& batch);
+
+    [[nodiscard]] std::size_t item_count() const noexcept { return batch_->items.size(); }
+    [[nodiscard]] std::size_t predicted_count(std::size_t m) const {
+        return batch_->items[m].predicted.size();
+    }
+
+    /// Assemble the instance for item `m` at ladder rung `k` (that many
+    /// predicted tasks included).  The reference is valid until the next
+    /// assemble/admit call.
+    [[nodiscard]] const PlanInstance& assemble(std::size_t m, std::size_t k);
+
+    /// Fold item `m`, admitted with `mapping` over the last assembled
+    /// instance, into the shared working set (mirroring the simulator's
+    /// RM-visible apply) and return its Decision (used_prediction unset —
+    /// the ladder fills it).
+    [[nodiscard]] Decision admit(std::size_t m, std::span<const ResourceId> mapping);
+
+private:
+    static constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
+    const BatchArrivalContext* batch_;
+    std::vector<ActiveTask>& working_;  ///< active set incl. prior admissions
+    std::size_t base_count_ = 0;        ///< prefix of instance_.tasks mirroring working_
+    std::size_t candidate_for_ = kNoItem; ///< item whose candidate row is cached
+    PlanInstance& instance_;
+    std::vector<PlanTask>& spare_;
 };
 
 /// Reusable scratch arena for admission solvers: the desirability matrix,
@@ -90,6 +161,7 @@ struct PlanScratch {
     std::vector<std::uint8_t> mapped;
     std::vector<ResourceId> mapping;
     std::vector<std::vector<ScheduleItem>> assigned; ///< per physical resource
+    std::vector<ResourceId> phys; ///< resource id -> physical anchor id
 
     // Per-task desirability cache for the dirty-flag incremental
     // recomputation: a task's best/second-best/feasible-count triple stays
@@ -117,8 +189,9 @@ struct PlanScratch {
 template <typename Solver>
 [[nodiscard]] Decision run_admission_ladder(const ArrivalContext& context, Solver&& solve) {
     Decision decision;
+    PlanPool& pool = PlanPool::local();
     for (std::size_t k = context.predicted.size() + 1; k-- > 0;) {
-        const PlanInstance instance = PlanInstance::build(context, k);
+        const PlanInstance& instance = PlanInstance::build_into(pool, context, k);
         if (const auto mapping = solve(instance)) {
             decision.admitted = true;
             decision.used_prediction = k > 0;
@@ -127,6 +200,23 @@ template <typename Solver>
         }
     }
     return decision; // reject; the previous mapping stays in force
+}
+
+/// The admission ladder over a BatchPlanner-assembled instance: identical
+/// rung order and semantics to run_admission_ladder, but the instance comes
+/// from the batch's shared base and an admission folds back into it.
+template <typename Solver>
+[[nodiscard]] Decision run_admission_ladder_batch(BatchPlanner& planner, std::size_t m,
+                                                  Solver&& solve) {
+    for (std::size_t k = planner.predicted_count(m) + 1; k-- > 0;) {
+        const PlanInstance& instance = planner.assemble(m, k);
+        if (const auto mapping = solve(instance)) {
+            Decision decision = planner.admit(m, *mapping);
+            decision.used_prediction = k > 0;
+            return decision;
+        }
+    }
+    return Decision{}; // reject; the previous mapping stays in force
 }
 
 /// The fault-rescue counterpart of the admission ladder: try to re-plan the

@@ -20,11 +20,6 @@ Platform::Platform(std::vector<Resource> resources) : resources_(std::move(resou
     }
 }
 
-const Resource& Platform::resource(ResourceId id) const {
-    RMWP_EXPECT(id < resources_.size());
-    return resources_[id];
-}
-
 std::size_t Platform::cpu_count() const noexcept {
     std::size_t n = 0;
     for (const auto& r : resources_)

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "platform/resource.hpp"
+#include "util/check.hpp"
 
 namespace rmwp {
 
@@ -17,7 +18,12 @@ public:
     explicit Platform(std::vector<Resource> resources);
 
     [[nodiscard]] std::size_t size() const noexcept { return resources_.size(); }
-    [[nodiscard]] const Resource& resource(ResourceId id) const;
+    // Defined inline: this is the innermost lookup of the admission hot
+    // path (millions of calls per serve run).
+    [[nodiscard]] const Resource& resource(ResourceId id) const {
+        RMWP_EXPECT(id < resources_.size());
+        return resources_[id];
+    }
     [[nodiscard]] const std::vector<Resource>& resources() const noexcept { return resources_; }
 
     [[nodiscard]] std::size_t cpu_count() const noexcept;

@@ -90,6 +90,12 @@ public:
     /// Fraction of type predictions that turned out correct so far.
     [[nodiscard]] double realized_type_accuracy() const noexcept;
 
+    /// Self-scoring counters behind realized_type_accuracy(): identity
+    /// predictions issued, and the subset the next arrival proved correct.
+    /// Monotone over a run — serve's rolling-window stats difference them.
+    [[nodiscard]] std::size_t type_predictions() const noexcept { return type_predictions_; }
+    [[nodiscard]] std::size_t type_hits() const noexcept { return type_hits_; }
+
     /// Bit-exact model-state serialization for crash-safe checkpointing
     /// (DESIGN.md §11).  restore() throws std::runtime_error on a malformed
     /// stream or a type-count mismatch with this predictor's catalog.

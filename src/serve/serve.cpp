@@ -57,6 +57,7 @@ std::string make_digest(const Platform& platform, const Catalog& catalog,
        << "|rm=" << rm.name() << "|predictor=" << predictor.name()
        << "|decision_cost=" << hexf(config.decision_cost)
        << "|max_pending=" << config.max_pending
+       << "|batch_window=" << hexf(config.batch_window)
        << "|lookahead=" << config.sim.lookahead
        << "|exec_min=" << hexf(config.sim.execution_time_factor_min)
        << "|exec_seed=" << config.sim.execution_seed
@@ -229,10 +230,13 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
         std::size_t accepted = 0, rejected = 0, completed = 0, misses = 0;
         std::uint64_t shed = 0;
         double energy = 0.0;
+        std::size_t predictions = 0, hits = 0;
     };
     Cumulative window_base{engine.result().accepted, engine.result().rejected,
                            engine.result().completed, engine.result().deadline_misses,
-                           shed, engine.result().total_energy};
+                           shed, engine.result().total_energy,
+                           online != nullptr ? online->type_predictions() : 0,
+                           online != nullptr ? online->type_hits() : 0};
     Time next_window = config.window > 0.0
                            ? (std::floor(engine.clock() / config.window) + 1.0) * config.window
                            : std::numeric_limits<Time>::infinity();
@@ -267,20 +271,60 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                           static_cast<unsigned long long>(shed - window_base.shed),
                           r.completed - window_base.completed, r.deadline_misses - window_base.misses,
                           engine.active_count(), r.total_energy - window_base.energy);
-            window_out << line << '\n';
+            window_out << line;
+            const std::size_t predictions =
+                online != nullptr ? online->type_predictions() : 0;
+            const std::size_t hits = online != nullptr ? online->type_hits() : 0;
+            if (online != nullptr) {
+                // Per-window predictor hit rate; a window with no scored
+                // predictions (e.g. no arrivals) reports n/a, not 0%.
+                const std::size_t scored = predictions - window_base.predictions;
+                if (scored > 0) {
+                    std::snprintf(line, sizeof line, " phit=%.3f",
+                                  static_cast<double>(hits - window_base.hits) /
+                                      static_cast<double>(scored));
+                    window_out << line;
+                } else {
+                    window_out << " phit=n/a";
+                }
+            }
+            window_out << '\n';
             window_base = {r.accepted, r.rejected, r.completed, r.deadline_misses, shed,
-                           r.total_energy};
+                           r.total_energy, predictions, hits};
             next_window += config.window;
             ++windows_emitted;
         }
     };
 
-    const auto flush_one = [&] {
-        const PendingArrival pending = backlog.front();
-        backlog.pop_front();
+    /// One backlog flush.  Batching off (batch_window < 0): decide the
+    /// front request alone, exactly the pre-batching loop.  Batching on:
+    /// greedily extend the group with further queued requests whose wakes
+    /// fall within batch_window of the front's AND satisfy `eligible` (the
+    /// caller's flush limit — next arrival / fault-chunk boundary), then
+    /// decide the whole group at the last member's wake in a single
+    /// decide_batch activation.  Grouping is derived afresh at flush time
+    /// from the backlog, so checkpoints need no extra state.
+    std::vector<StreamArrival> group;
+    const auto flush_front = [&](auto&& eligible) {
         // RMWP_LINT_ALLOW(R1): host-scope admission-latency metric; never feeds sim state
         const auto begun = std::chrono::steady_clock::now();
-        engine.stream_arrival(pending.request, pending.uid, pending.wake);
+        if (config.batch_window < 0.0) {
+            const PendingArrival pending = backlog.front();
+            backlog.pop_front();
+            engine.stream_arrival(pending.request, pending.uid, pending.wake);
+        } else {
+            group.clear();
+            const Time window_end = backlog.front().wake + config.batch_window;
+            Time wake = backlog.front().wake;
+            do {
+                const PendingArrival& front = backlog.front();
+                wake = front.wake;
+                group.push_back({front.request, front.uid});
+                backlog.pop_front();
+            } while (!backlog.empty() && backlog.front().wake <= window_end &&
+                     eligible(backlog.front().wake));
+            engine.stream_arrival_batch(group, wake);
+        }
         // RMWP_LINT_ALLOW(R1): host-scope admission-latency metric; never feeds sim state
         const auto ended = std::chrono::steady_clock::now();
         board.latency.record(
@@ -309,7 +353,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
             const Time boundary =
                 faults_on ? chunk_end() : std::numeric_limits<Time>::infinity();
             if (wake < t && wake <= boundary) {
-                flush_one();
+                flush_front([&](Time w) { return w < t && w <= boundary; });
             } else if (faults_on && boundary <= t) {
                 switch_chunk();
             } else {
@@ -403,7 +447,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
         if (faults_on && chunk_end() <= backlog.front().wake) {
             switch_chunk();
         } else {
-            flush_one();
+            flush_front([&](Time w) { return !faults_on || w < chunk_end(); });
         }
     }
     out.result = engine.finish_stream();
@@ -427,6 +471,10 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                            .count();
     out.latency_p50_us = board.latency.quantile_us(0.50);
     out.latency_p99_us = board.latency.quantile_us(0.99);
+    if (online != nullptr) {
+        out.predictor_predictions = online->type_predictions();
+        out.predictor_hits = online->type_hits();
+    }
     if (const auto violation = monitor.violation(); violation.has_value()) {
         out.exit_code = 3;
         out.violation = violation->to_string();

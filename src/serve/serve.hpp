@@ -60,6 +60,16 @@ struct ServeConfig {
     /// Backlog bound; an arrival finding this many queued is shed.  0 =
     /// unbounded (never sheds).
     std::size_t max_pending = 0;
+    /// Batched admission (DESIGN.md §13): when >= 0, each backlog flush
+    /// coalesces the maximal run of queued requests whose wakes fall within
+    /// `batch_window` of the first one (and before the flush limit and the
+    /// current fault chunk's end) into a single decide_batch activation at
+    /// the last member's wake.  0 coalesces only identical wakes — with
+    /// decision_cost = 0 that is bit-identical to the unbatched loop
+    /// (decide_batch's contract); > 0 trades per-request decision latency
+    /// for amortised activation cost.  Negative (default) = off: requests
+    /// are decided one at a time exactly as before.
+    Time batch_window = -1.0;
 
     // --- run bounds ---
     std::uint64_t max_arrivals = 0; ///< stop after this many consumed; 0 = source-driven
@@ -108,8 +118,16 @@ struct ServeResult {
     int exit_code = 0;
     std::string violation; ///< HealthReport::to_string() when exit_code == 3
     double wall_seconds = 0.0;
-    double latency_p50_us = 0.0; ///< wall-clock per-arrival service latency
+    /// Wall-clock service latency per backlog flush (per arrival when
+    /// batching is off; per coalesced group under batch_window >= 0).
+    double latency_p50_us = 0.0;
     double latency_p99_us = 0.0;
+    /// Online-predictor self-scoring (both 0 when the predictor is not the
+    /// online one): identity predictions issued, and the subset the next
+    /// arrival proved correct.  The rolling-window stats line reports the
+    /// per-window hit rate as `phit`.
+    std::uint64_t predictor_predictions = 0;
+    std::uint64_t predictor_hits = 0;
 };
 
 /// Install SIGTERM/SIGINT handlers that request a graceful drain of the

@@ -42,6 +42,9 @@ SimEngine::SimEngine(const Platform& platform, const Catalog& catalog, ResourceM
 
 TraceResult SimEngine::run(const Trace& trace) {
     RMWP_EXPECT(!streaming_ && trace_ == nullptr);
+    // Periodic activation already coalesces arrivals; combining the two
+    // batching policies has no defined wake-up semantics.
+    RMWP_EXPECT(!(options_.batch_arrivals && options_.activation_period > 0.0));
     trace_ = &trace;
 #ifdef RMWP_OBS
     if (options_.sink != nullptr) init_obs();
@@ -89,6 +92,34 @@ Time SimEngine::stream_arrival(const Request& request, TaskUid uid, Time wake) {
     ++result_.activations;
     predictor_.observe_arrival(request);
     decide_on(request, uid, 0, decision_time);
+    rebuild(decision_time);
+    return decision_time;
+}
+
+Time SimEngine::stream_arrival_batch(std::span<const StreamArrival> arrivals, Time wake) {
+    RMWP_EXPECT(streaming_);
+    RMWP_EXPECT(!arrivals.empty());
+    for (const StreamArrival& arrival : arrivals) {
+        RMWP_EXPECT(arrival.uid < kReservedUidBase);
+        RMWP_EXPECT(wake >= arrival.request.arrival);
+    }
+    drain_until(wake);
+
+    batch_entries_.clear();
+    for (const StreamArrival& arrival : arrivals) {
+        RMWP_TRACE(options_.sink, arrival.request.arrival, obs::EventKind::arrival, arrival.uid,
+                   obs::kNoResource, arrival.request.absolute_deadline());
+        ++result_.requests;
+        result_.reference_energy += catalog_.type(arrival.request.type).mean_energy();
+        BatchEntry entry;
+        entry.request = arrival.request;
+        entry.uid = arrival.uid;
+        batch_entries_.push_back(std::move(entry));
+    }
+
+    const Time decision_time = wake_up(wake);
+    ++result_.activations; // one coalesced activation for the whole group
+    decide_batch_on(decision_time);
     rebuild(decision_time);
     return decision_time;
 }
@@ -155,6 +186,33 @@ void SimEngine::dispatch(const Event& event) {
                    trace_->request(static_cast<std::size_t>(event.payload)).absolute_deadline());
         if (options_.activation_period > 0.0) {
             enqueue_for_batch(static_cast<std::size_t>(event.payload));
+        } else if (options_.batch_arrivals) {
+            // Coalesce the maximal run of simultaneous arrivals.  Arrivals
+            // are scheduled before any completion/fault event exists, so
+            // same-time arrivals hold the lowest FIFO sequences and pop
+            // consecutively: peeking until the kind or time changes
+            // captures exactly the group a sequential run would decide
+            // back-to-back with zero-width advances in between.
+            batch_entries_.clear();
+            auto push_entry = [this](std::uint64_t payload) {
+                BatchEntry entry;
+                entry.trace_index = static_cast<std::size_t>(payload);
+                entry.uid = static_cast<TaskUid>(payload);
+                entry.request = trace_->request(entry.trace_index);
+                batch_entries_.push_back(std::move(entry));
+            };
+            push_entry(event.payload);
+            while (!events_.empty()) {
+                const Event& next = events_.peek();
+                if (next.kind != kArrivalEvent || next.time != event.time) break;
+                const Event member = events_.pop();
+                RMWP_TRACE(options_.sink, member.time, obs::EventKind::arrival, member.payload,
+                           obs::kNoResource,
+                           trace_->request(static_cast<std::size_t>(member.payload))
+                               .absolute_deadline());
+                push_entry(member.payload);
+            }
+            handle_arrival_batch(event.time);
         } else {
             handle_arrival(static_cast<std::size_t>(event.payload));
         }
@@ -335,6 +393,16 @@ void SimEngine::process_request(std::size_t index, Time decision_time) {
     decide_on(trace_->request(index), static_cast<TaskUid>(index), index, decision_time);
 }
 
+void SimEngine::reject_doomed(TaskUid uid, Time decision_time) {
+    ++result_.rejected;
+    RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, uid, obs::kNoResource, 0.0,
+               static_cast<std::uint32_t>(RejectReason::deadline_passed));
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr)
+        ins_.reject[static_cast<std::size_t>(RejectReason::deadline_passed)]->add();
+#endif
+}
+
 void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index,
                           Time decision_time) {
     ActiveTask candidate;
@@ -346,14 +414,7 @@ void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index
     // A request whose deadline already passed while waiting for the
     // activation boundary cannot be served.
     if (candidate.absolute_deadline <= decision_time + kTimeEps) {
-        ++result_.rejected;
-        RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, candidate.uid,
-                   obs::kNoResource, 0.0,
-                   static_cast<std::uint32_t>(RejectReason::deadline_passed));
-#ifdef RMWP_OBS
-        if (options_.sink != nullptr)
-            ins_.reject[static_cast<std::size_t>(RejectReason::deadline_passed)]->add();
-#endif
+        reject_doomed(candidate.uid, decision_time);
         return;
     }
 
@@ -382,6 +443,21 @@ void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index
         // host scope: measures this machine, excluded from determinism.
         ins_.admission_latency_us->record(
             std::chrono::duration<double, std::micro>(finished - started).count());
+    }
+#endif
+
+    commit_decision(context, decision, decision_time);
+}
+
+/// Everything downstream of the RM verdict — the audit, the observability
+/// record, the admit/reject accounting, and the state mutation — shared
+/// verbatim by the sequential and batched paths so they cannot drift.
+void SimEngine::commit_decision(const ArrivalContext& context, const Decision& decision,
+                                Time decision_time) {
+    const ActiveTask& candidate = context.candidate;
+
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) {
         // sim scope: the size of the instance the RM planned over.
         ins_.plan_size->record(static_cast<double>(context.active.size() + 1));
     }
@@ -429,10 +505,99 @@ void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index
     }
 }
 
+/// Decide every entry of batch_entries_ with one rm_.decide_batch call.
+/// The per-entry protocol is the sequential one, re-ordered but not
+/// re-defined: predictor observations and lookaheads interleave per entry
+/// exactly as sequential same-instant activations would issue them, doomed
+/// requests (deadline already passed) never reach the RM, and each
+/// decision is committed against the active set as left by the previous
+/// entry's commit — so with a zero-overhead predictor the resulting state
+/// is bit-identical to deciding the entries one at a time.
+void SimEngine::decide_batch_on(Time decision_time) {
+    batch_items_.clear();
+    for (BatchEntry& entry : batch_entries_) {
+        if (streaming_) predictor_.observe_arrival(entry.request);
+        else predictor_.observe(*trace_, entry.trace_index);
+
+        entry.candidate = ActiveTask{};
+        entry.candidate.uid = entry.uid;
+        entry.candidate.type = entry.request.type;
+        entry.candidate.arrival = entry.request.arrival;
+        entry.candidate.absolute_deadline = entry.request.absolute_deadline();
+
+        if (entry.candidate.absolute_deadline <= decision_time + kTimeEps) {
+            entry.item = kNotAdmissible;
+            continue;
+        }
+        BatchItem item;
+        item.candidate = entry.candidate;
+        item.predicted = streaming_
+                             ? predictor_.predict_upcoming(decision_time, options_.lookahead)
+                             : predictor_.predict_horizon(*trace_, entry.trace_index,
+                                                          decision_time, options_.lookahead);
+        entry.item = batch_items_.size();
+        batch_items_.push_back(std::move(item));
+    }
+
+    BatchArrivalContext batch;
+    batch.now = decision_time;
+    batch.platform = &platform_;
+    batch.catalog = &catalog_;
+    batch.active = active_;
+    batch.items = batch_items_;
+    batch.reservations = reservations_;
+    batch.health = &health_;
+
+    // RMWP_LINT_ALLOW(R1): measures RM overhead on the host (paper Fig 5); host-time
+    const auto started = std::chrono::steady_clock::now();
+    if (!batch_items_.empty()) rm_.decide_batch(batch, batch_decisions_);
+    // RMWP_LINT_ALLOW(R1): measures RM overhead on the host (paper Fig 5); host-time
+    const auto finished = std::chrono::steady_clock::now();
+    result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
+    RMWP_ENSURE(batch_items_.empty() || batch_decisions_.size() == batch_items_.size());
+
+#ifdef RMWP_OBS
+    if (options_.sink != nullptr) {
+        // host scope: one record per batch — the amortised cost is the
+        // quantity of interest on the batched path.
+        ins_.admission_latency_us->record(
+            std::chrono::duration<double, std::micro>(finished - started).count());
+    }
+#endif
+
+    for (const BatchEntry& entry : batch_entries_) {
+        if (entry.item == kNotAdmissible) {
+            reject_doomed(entry.uid, decision_time);
+            continue;
+        }
+        // The context is rebuilt per entry against the *evolving* active
+        // set — it is what the audit (and the obs plan-size metric) would
+        // have seen on the sequential path.
+        ArrivalContext context;
+        context.now = decision_time;
+        context.platform = &platform_;
+        context.catalog = &catalog_;
+        context.active = active_;
+        context.candidate = entry.candidate;
+        context.predicted = batch_items_[entry.item].predicted;
+        context.reservations = reservations_;
+        context.health = &health_;
+        commit_decision(context, batch_decisions_[entry.item], decision_time);
+    }
+}
+
 void SimEngine::handle_arrival(std::size_t index) {
     const Time decision_time = wake_up(trace_->request(index).arrival);
     ++result_.activations;
     process_request(index, decision_time);
+    rebuild(decision_time);
+}
+
+void SimEngine::handle_arrival_batch(Time arrival_time) {
+    RMWP_EXPECT(!batch_entries_.empty());
+    const Time decision_time = wake_up(arrival_time);
+    ++result_.activations; // one coalesced activation for the whole group
+    decide_batch_on(decision_time);
     rebuild(decision_time);
 }
 
@@ -868,7 +1033,16 @@ void SimEngine::restore_stream(std::istream& is, const FaultSchedule* faults) {
     // strictly after the cut (the restored health mask already reflects
     // events at or before it) and the completion schedule.
     set_fault_schedule(faults, clock_, /*include_events_at_from=*/false);
+#ifdef RMWP_AUDIT
+    // The re-derivation rebuild is not part of the simulated timeline (an
+    // uninterrupted run has no event here), so its audit must not count:
+    // restored runs promise bit-identical TraceResults, counters included.
+    const std::size_t audit_checks_before = result_.audit_checks;
+#endif
     rebuild(clock_);
+#ifdef RMWP_AUDIT
+    result_.audit_checks = audit_checks_before;
+#endif
 }
 
 #ifdef RMWP_AUDIT

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <iosfwd>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,12 @@ class Histogram;
 } // namespace rmwp::obs
 
 namespace rmwp {
+
+/// One member of a coalesced streaming batch (stream_arrival_batch).
+struct StreamArrival {
+    Request request;
+    TaskUid uid = 0;
+};
 
 class SimEngine {
 public:
@@ -75,6 +82,16 @@ public:
     /// strictly increasing, below kReservedUidBase.  Returns the decision
     /// instant.
     Time stream_arrival(const Request& request, TaskUid uid, Time wake);
+
+    /// Feed a coalesced group of arrivals deciding at one shared wake-up:
+    /// one event drain, one advance, one rm_.decide_batch, one schedule
+    /// rebuild for the whole group.  Per-request accounting (requests,
+    /// reference energy, predictor observations, decisions) is identical to
+    /// feeding the members through stream_arrival one by one at this wake;
+    /// with a zero-overhead predictor the resulting simulation state is
+    /// bit-identical too (the amortisation only shows once decision costs
+    /// or predictor overheads are charged).  Returns the decision instant.
+    Time stream_arrival_batch(std::span<const StreamArrival> arrivals, Time wake);
 
     /// Account one request shed by serve-side overload protection: counted
     /// as rejected with RejectReason::overload.  The manager never sees it.
@@ -158,7 +175,12 @@ private:
     void dispatch(const Event& event);
     void process_request(std::size_t index, Time decision_time);
     void decide_on(const Request& request, TaskUid uid, std::size_t index, Time decision_time);
+    void reject_doomed(TaskUid uid, Time decision_time);
+    void commit_decision(const ArrivalContext& context, const Decision& decision,
+                         Time decision_time);
+    void decide_batch_on(Time decision_time);
     void handle_arrival(std::size_t index);
+    void handle_arrival_batch(Time arrival_time);
     void enqueue_for_batch(std::size_t index);
     void handle_activation(Time boundary);
     void handle_fault(Time event_time, bool onset, std::size_t fault_index);
@@ -208,6 +230,23 @@ private:
     /// Periodic-activation state (batch mode only).
     std::vector<std::size_t> pending_;
     Time last_activation_scheduled_ = -1.0;
+
+    /// Coalesced-arrival state (options.batch_arrivals / the streaming
+    /// batch entry point).  Member buffers: batches run on the hot path and
+    /// must not reallocate per group.
+    struct BatchEntry {
+        Request request;
+        TaskUid uid = 0;
+        std::size_t trace_index = 0; ///< batch mode only (predictor interface)
+        ActiveTask candidate;
+        /// Index into batch_items_, or kNotAdmissible when the deadline
+        /// already passed at decision time (the RM never sees those).
+        std::size_t item = kNotAdmissible;
+    };
+    static constexpr std::size_t kNotAdmissible = static_cast<std::size_t>(-1);
+    std::vector<BatchEntry> batch_entries_;
+    std::vector<BatchItem> batch_items_;
+    std::vector<Decision> batch_decisions_;
 
 #ifdef RMWP_OBS
     Instruments ins_;

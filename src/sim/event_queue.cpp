@@ -46,4 +46,10 @@ Time EventQueue::next_time() {
     return queue_.top().event.time;
 }
 
+const Event& EventQueue::peek() {
+    drop_cancelled();
+    RMWP_EXPECT(!queue_.empty());
+    return queue_.top().event;
+}
+
 } // namespace rmwp

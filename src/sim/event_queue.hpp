@@ -45,6 +45,11 @@ public:
     /// Time of the earliest valid event.  Requires !empty().
     [[nodiscard]] Time next_time();
 
+    /// The earliest valid event without popping it.  Requires !empty().
+    /// The reference is invalidated by the next schedule/pop.  Lets the
+    /// dispatcher coalesce runs of simultaneous same-kind events.
+    [[nodiscard]] const Event& peek();
+
     [[nodiscard]] std::size_t scheduled_count() const noexcept { return total_scheduled_; }
 
 private:

@@ -92,6 +92,16 @@ struct SimOptions {
     /// delay consumes deadline slack, but any per-activation prediction
     /// overhead (Fig 5) is paid once per batch instead of once per request.
     Time activation_period = 0.0;
+    /// Coalesce simultaneous arrivals into one RM activation (the batched
+    /// admission hot path, DESIGN.md §13).  Consecutive arrival events at
+    /// the same instant are decided by a single rm_.decide_batch call —
+    /// one event drain, one execution advance, one schedule rebuild for
+    /// the group — instead of one full activation each.  Decisions are
+    /// bit-identical to the sequential path (decide_batch's contract);
+    /// TraceResult::activations then counts coalesced groups, not
+    /// arrivals.  Off by default; incompatible with activation_period
+    /// (periodic batching already coalesces).
+    bool batch_arrivals = false;
     /// Observability sink (DESIGN.md §10).  When non-null (and the build
     /// has RMWP_OBS, the default) the run records structured events —
     /// arrivals, admissions/rejections with reason codes, executed slices,

@@ -1,0 +1,174 @@
+// Heap-allocation budget for the admission hot path (DESIGN.md §13).
+//
+// The solver arenas (PlanScratch, PlanPool, the EDF buffers) make
+// steady-state admission allocation-free except for the Decision's
+// assignments vector — the one output that must outlive the call.  This
+// test pins that budget with counting global operator new/delete
+// overrides, so a future change that reintroduces per-decision allocations
+// (a copied mapping, a rebuilt schedule buffer, a temporary set) fails
+// loudly instead of silently costing throughput.
+//
+// The counters are process-global, so this binary holds only this test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/heuristic_rm.hpp"
+#include "util/rng.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+struct AllocationCount {
+    std::uint64_t begin = 0;
+    void start() { begin = g_allocations.load(std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t stop() const {
+        return g_allocations.load(std::memory_order_relaxed) - begin;
+    }
+};
+
+} // namespace
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace rmwp {
+namespace {
+
+ActiveTask task_of(TaskUid uid, TaskTypeId type, Time arrival, Time rel_deadline) {
+    ActiveTask task;
+    task.uid = uid;
+    task.type = type;
+    task.arrival = arrival;
+    task.absolute_deadline = arrival + rel_deadline;
+    return task;
+}
+
+TEST(AllocCount, SteadyStateDecideAllocatesOnlyTheDecisionOutput) {
+#ifdef RMWP_AUDIT
+    // The audit drift gates deliberately rebuild instances from scratch to
+    // cross-check the arenas; the allocation budget is a contract of the
+    // production (no-audit) configuration only.
+    GTEST_SKIP() << "allocation budgets are pinned on no-audit builds";
+#endif
+    const Platform platform = make_motivational_platform();
+    CatalogParams params;
+    params.type_count = 8;
+    Rng catalog_rng = Rng(3).derive(1);
+    const Catalog catalog = generate_catalog(platform, params, catalog_rng);
+
+    std::vector<ActiveTask> active;
+    active.push_back(task_of(0, 0, 0.0, 60.0));
+    active.push_back(task_of(1, 1, 0.0, 80.0));
+    ArrivalContext context;
+    context.now = 5.0;
+    context.platform = &platform;
+    context.catalog = &catalog;
+    context.active = active;
+    context.candidate = task_of(100, 2, 5.0, 50.0);
+    context.predicted = {PredictedTask{3, 9.0, 40.0}};
+
+    HeuristicRM rm;
+    // Warm the thread-local arenas (PlanScratch, PlanPool, EDF buffers):
+    // the first decision may size every buffer.
+    (void)rm.decide(context);
+
+    constexpr int kRounds = 200;
+    AllocationCount count;
+    count.start();
+    std::size_t admitted = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        const Decision decision = rm.decide(context);
+        if (decision.admitted) ++admitted;
+    }
+    const std::uint64_t allocations = count.stop();
+    EXPECT_EQ(admitted, static_cast<std::size_t>(kRounds));
+
+    // Budget: one allocation per decision — the admitted Decision's
+    // assignments vector.  Everything else (instance build, Algorithm 1's
+    // matrices, schedulability probes, the returned mapping span) runs on
+    // reused arenas.
+    EXPECT_LE(allocations, static_cast<std::uint64_t>(kRounds))
+        << "steady-state decide() regressed to " << allocations << " allocations over "
+        << kRounds << " rounds";
+    EXPECT_GT(allocations, 0u); // the output vector itself is real
+}
+
+TEST(AllocCount, BatchDecisionAmortisesSetupAllocations) {
+#ifdef RMWP_AUDIT
+    GTEST_SKIP() << "allocation budgets are pinned on no-audit builds";
+#endif
+    const Platform platform = make_motivational_platform();
+    CatalogParams params;
+    params.type_count = 8;
+    Rng catalog_rng = Rng(3).derive(1);
+    const Catalog catalog = generate_catalog(platform, params, catalog_rng);
+
+    std::vector<ActiveTask> active;
+    active.push_back(task_of(0, 0, 0.0, 60.0));
+    std::vector<BatchItem> items;
+    for (std::size_t m = 0; m < 8; ++m)
+        items.push_back({task_of(100 + m, (m % 4) + 1, 5.0, 50.0 + 2.0 * static_cast<double>(m)),
+                         {}});
+    BatchArrivalContext batch;
+    batch.now = 5.0;
+    batch.platform = &platform;
+    batch.catalog = &catalog;
+    batch.active = active;
+    batch.items = items;
+
+    HeuristicRM rm;
+    std::vector<Decision> out;
+    rm.decide_batch(batch, out); // warm-up
+    ASSERT_EQ(out.size(), items.size());
+
+    constexpr int kRounds = 100;
+    AllocationCount count;
+    count.start();
+    for (int round = 0; round < kRounds; ++round) {
+        rm.decide_batch(batch, out);
+        ASSERT_EQ(out.size(), items.size());
+    }
+    const std::uint64_t allocations = count.stop();
+
+    // Budget per batch of 8: one assignments vector per admitted item —
+    // the BatchPlanner's working set, pooled instance, and spare shells
+    // live on a thread-local arena, so batch setup itself is
+    // allocation-free in steady state.
+    // (+8 absorbs one-off arena growth that can still trail the warm-up
+    // batch; it does not scale with kRounds.)
+    const std::uint64_t budget = static_cast<std::uint64_t>(kRounds) * items.size() + 8;
+    EXPECT_LE(allocations, budget)
+        << "decide_batch allocated " << allocations << " times over " << kRounds
+        << " batches of " << items.size();
+}
+
+} // namespace
+} // namespace rmwp

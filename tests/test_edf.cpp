@@ -4,6 +4,8 @@
 // resources, pinned tasks, and feasibility detection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
 #include <vector>
 
 #include "core/edf.hpp"
@@ -419,19 +421,183 @@ TEST(EdfPrefilterTest, RejectsOverloadAcceptsSlackOnPlainSets) {
     EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, slack), EdfPrefilter::feasible);
 }
 
-TEST(EdfPrefilterTest, FutureReleaseBlocksTheExactFastAccept) {
-    // A not-yet-released item invalidates the fast-accept certificate (EDF
-    // may idle before its release), but overload detection still works: the
-    // work due by a deadline cannot fit whatever the schedule does.
+TEST(EdfPrefilterTest, ProcessorDemandCriterionDecidesFutureReleases) {
+    // Plain preemptive EDF with release times: the prefilter's
+    // processor-demand criterion (anchored scan plus one scan per distinct
+    // future release) is a full verdict — the common admission probe that
+    // carries a predicted task no longer falls back to the simulation.
     const std::vector<ScheduleItem> loose{item(1, 2.0, 30.0),
                                           item(kPredictedUid, 1.0, 25.0, /*release=*/5.0)};
-    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, loose), EdfPrefilter::unknown);
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, loose), EdfPrefilter::feasible);
     EXPECT_TRUE(resource_feasible(kCpu, 0.0, loose));
 
     const std::vector<ScheduleItem> overload{item(1, 8.0, 9.0),
                                              item(kPredictedUid, 4.0, 10.0, /*release=*/5.0)};
     EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, overload), EdfPrefilter::infeasible);
     EXPECT_FALSE(resource_feasible(kCpu, 0.0, overload));
+
+    // The future window [5, 13) is overfull even though the now-anchored
+    // demand bound passes: only the per-release scan catches it.
+    const std::vector<ScheduleItem> window_overload{
+        item(1, 2.0, 30.0), item(kPredictedUid, 9.0, 13.0, /*release=*/5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, window_overload), EdfPrefilter::infeasible);
+    EXPECT_FALSE(resource_feasible(kCpu, 0.0, window_overload));
+
+    // Exactly-tight future window: inside the safety band, the prefilter
+    // must refuse to guess and defer to the simulation.
+    const std::vector<ScheduleItem> tight{item(kPredictedUid, 5.0, 10.0, /*release=*/5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kCpu, 0.0, tight), EdfPrefilter::unknown);
+    EXPECT_TRUE(resource_feasible(kCpu, 0.0, tight));
+}
+
+TEST(EdfPrefilterTest, NonPreemptableAllReleasedIsDecisive) {
+    // Run-to-completion dispatch with everything released follows demand
+    // order back-to-back, so the prefilter's mirror scan reproduces the
+    // simulation's completion times and yields a full verdict — the GPU
+    // admission probe (the bulk of serve-mode feasibility checks) resolves
+    // analytically.
+    const std::vector<ScheduleItem> fits{item(1, 4.0, 5.0), item(2, 3.0, 9.0)};
+    EXPECT_EQ(edf_demand_prefilter(kGpu, 0.0, fits), EdfPrefilter::feasible);
+
+    const std::vector<ScheduleItem> late{item(1, 4.0, 5.0), item(2, 3.0, 6.0)};
+    EXPECT_EQ(edf_demand_prefilter(kGpu, 0.0, late), EdfPrefilter::infeasible);
+
+    // A pinned head outranks demand order; the mirror scan accounts for it.
+    const std::vector<ScheduleItem> pinned_ok{
+        item(1, 5.0, 100.0, 0.0, /*pinned=*/true), item(2, 2.0, 8.0)};
+    EXPECT_EQ(edf_demand_prefilter(kGpu, 0.0, pinned_ok), EdfPrefilter::feasible);
+    const std::vector<ScheduleItem> pinned_late{
+        item(1, 5.0, 100.0, 0.0, /*pinned=*/true), item(2, 2.0, 6.0)};
+    EXPECT_EQ(edf_demand_prefilter(kGpu, 0.0, pinned_late), EdfPrefilter::infeasible);
+
+    // A future release reintroduces idle/boundary effects: back to the
+    // necessary-condition scan, decisive only for overload.
+    const std::vector<ScheduleItem> future{item(1, 2.0, 30.0),
+                                           item(kPredictedUid, 1.0, 25.0, /*release=*/5.0)};
+    EXPECT_EQ(edf_demand_prefilter(kGpu, 0.0, future), EdfPrefilter::unknown);
+}
+
+TEST(EdfPrefilterTest, SortedVariantAgreesOnRandomPermutations) {
+    // edf_demand_prefilter_sorted documents bit-identical verdicts to the
+    // unsorted entry point on any permutation: both scan the demand order.
+    Rng rng(97531);
+    int decisive = 0;
+    for (int round = 0; round < 1500; ++round) {
+        const Resource& resource = rng.bernoulli(0.4) ? kGpu : kCpu;
+        const Time now = rng.uniform(0.0, 10.0);
+        const std::size_t count = 1 + rng.index(7);
+        std::vector<ScheduleItem> items;
+        for (std::size_t j = 0; j < count; ++j) {
+            const Time release = rng.bernoulli(0.3) ? now + rng.uniform(0.0, 6.0) : now;
+            items.push_back(item(j + 1, rng.uniform(0.2, 6.0),
+                                 release + rng.uniform(0.5, 18.0), release));
+        }
+        if (resource.kind() == ResourceKind::gpu && rng.bernoulli(0.3))
+            items.push_back(item(50, rng.uniform(0.5, 3.0), now + rng.uniform(1.0, 20.0), now,
+                                 /*pinned=*/true));
+        if (rng.bernoulli(0.2)) {
+            ScheduleItem reservation;
+            reservation.uid = kReservedUidBase + 1;
+            reservation.release = now + rng.uniform(0.0, 8.0);
+            reservation.duration = rng.uniform(0.5, 2.0);
+            reservation.abs_deadline = reservation.release + reservation.duration;
+            reservation.reserved = true;
+            items.push_back(reservation);
+        }
+
+        std::vector<ScheduleItem> sorted = items;
+        std::sort(sorted.begin(), sorted.end(), demand_order);
+        // A hostile permutation of the unsorted input.
+        std::vector<ScheduleItem> shuffled = items;
+        for (std::size_t j = shuffled.size(); j > 1; --j)
+            std::swap(shuffled[j - 1], shuffled[rng.index(j)]);
+
+        const EdfPrefilter unsorted_verdict = edf_demand_prefilter(resource, now, shuffled);
+        const EdfPrefilter sorted_verdict = edf_demand_prefilter_sorted(resource, now, sorted);
+        EXPECT_EQ(unsorted_verdict, sorted_verdict) << "round " << round;
+        if (sorted_verdict != EdfPrefilter::unknown) ++decisive;
+    }
+    EXPECT_GT(decisive, 300);
+}
+
+TEST(EdfPrefilterTest, IncrementalInsertionMatchesFromScratchRecompute) {
+    // The solvers grow per-anchor lists one insert_demand_ordered at a
+    // time.  After every insertion the incrementally maintained list must
+    // equal a from-scratch sort of the same multiset, and the sorted
+    // prefilter's verdict over it must equal the unsorted prefilter's over
+    // the insertion-order list — the incremental demand-bound state never
+    // drifts from a recompute.
+    Rng rng(86420);
+    for (int round = 0; round < 200; ++round) {
+        const Resource& resource = rng.bernoulli(0.5) ? kGpu : kCpu;
+        const Time now = rng.uniform(0.0, 5.0);
+        std::vector<ScheduleItem> incremental;
+        std::vector<ScheduleItem> arrival_order;
+        const std::size_t count = 1 + rng.index(10);
+        for (std::size_t j = 0; j < count; ++j) {
+            // Duplicate deadlines and releases on purpose: the total order's
+            // uid tie-break is what keeps the two sides aligned.
+            const Time release =
+                rng.bernoulli(0.3) ? now + static_cast<double>(rng.index(4)) * 1.5 : now;
+            ScheduleItem next = item(j + 1, rng.uniform(0.2, 5.0),
+                                     release + 2.0 + static_cast<double>(rng.index(5)) * 2.0,
+                                     release);
+            arrival_order.push_back(next);
+            const std::size_t pos = insert_demand_ordered(incremental, next);
+            EXPECT_EQ(incremental[pos].uid, next.uid);
+
+            std::vector<ScheduleItem> recomputed = arrival_order;
+            std::sort(recomputed.begin(), recomputed.end(), demand_order);
+            ASSERT_EQ(recomputed.size(), incremental.size());
+            for (std::size_t k = 0; k < recomputed.size(); ++k)
+                EXPECT_EQ(recomputed[k].uid, incremental[k].uid) << "round " << round;
+
+            EXPECT_EQ(edf_demand_prefilter_sorted(resource, now, incremental),
+                      edf_demand_prefilter(resource, now, arrival_order))
+                << "round " << round;
+        }
+    }
+}
+
+TEST(EdfGolden, SoaInnerLoopReproducesGoldenSegmentOrder) {
+    // Golden pin for the struct-of-arrays EDF inner loop: a scenario mixing
+    // a future-release preemption, a reservation window, and a deadline tie
+    // must reproduce this exact segment sequence.  Any reordering of the
+    // SoA scan (or a drifting tie-break) changes the segments, not just the
+    // completion times.
+    ScheduleItem reservation;
+    reservation.uid = kReservedUidBase + 1;
+    reservation.release = 6.0;
+    reservation.abs_deadline = 7.0;
+    reservation.duration = 1.0;
+    reservation.reserved = true;
+    const std::vector<ScheduleItem> items{
+        item(2, 4.0, 40.0),                              // ties on uid with 5
+        item(5, 3.0, 40.0),                              // loses the uid tie
+        item(1, 2.0, 9.0),                               // earliest deadline, runs first
+        item(kPredictedUid, 2.0, 12.0, /*release=*/3.0), // preempts task 2 at 3
+        reservation,                                     // preempts tau_p's tail window
+    };
+    std::unordered_map<TaskUid, Time> completion;
+    const auto result = schedule_resource(kCpu, 0.0, items, &completion);
+    EXPECT_TRUE(result.feasible);
+
+    // Expected dispatch: 1 [0,2), 2 [2,3), tau_p [3,5), 2 [5,6),
+    // reservation [6,7), 2 [7,9), 5 [9,12).
+    const std::vector<std::tuple<TaskUid, double, double>> golden{
+        {1, 0.0, 2.0},  {2, 2.0, 3.0},
+        {kPredictedUid, 3.0, 5.0}, {2, 5.0, 6.0},
+        {kReservedUidBase + 1, 6.0, 7.0}, {2, 7.0, 9.0},
+        {5, 9.0, 12.0},
+    };
+    ASSERT_EQ(result.timeline.segments.size(), golden.size());
+    for (std::size_t k = 0; k < golden.size(); ++k) {
+        EXPECT_EQ(result.timeline.segments[k].uid, std::get<0>(golden[k])) << "segment " << k;
+        EXPECT_DOUBLE_EQ(result.timeline.segments[k].start, std::get<1>(golden[k]));
+        EXPECT_DOUBLE_EQ(result.timeline.segments[k].end, std::get<2>(golden[k]));
+    }
+    EXPECT_DOUBLE_EQ(completion.at(2), 9.0);
+    EXPECT_DOUBLE_EQ(completion.at(5), 12.0);
 }
 
 TEST(EdfPrefilterTest, DvfsAnchorScreensTheMergedOperatingPointSet) {

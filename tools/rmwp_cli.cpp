@@ -59,6 +59,10 @@
 //                             [--max-pending 0]    (backlog bound; arrivals
 //                                                   beyond it are shed; 0 =
 //                                                   unbounded)
+//                             [--batch-window T]   (coalesce queued requests
+//                                                   whose wakes fall within T
+//                                                   sim-ms into one batched
+//                                                   decision; negative = off)
 //                             [--window T]         (one stats line per T
 //                                                   sim-ms window, to stderr)
 //                             [--checkpoint path] [--checkpoint-every N]
@@ -490,6 +494,7 @@ int cmd_serve(Args& args) {
     config.sim.execution_seed = seed;
     config.decision_cost = args.number("decision-cost", 0.0);
     config.max_pending = static_cast<std::size_t>(args.integer("max-pending", 0));
+    config.batch_window = args.number("batch-window", -1.0);
     config.max_arrivals = args.integer("arrivals", 0);
     config.max_sim_time = args.number("duration", 0.0);
     config.config_digest = source_digest;
@@ -564,6 +569,11 @@ int cmd_serve(Args& args) {
         0);
     table.row().cell("latency p50/p99 (us)").cell(
         format_fixed(serve.latency_p50_us, 0) + " / " + format_fixed(serve.latency_p99_us, 0));
+    if (serve.predictor_predictions > 0)
+        table.row().cell("predictor hit rate").cell(
+            static_cast<double>(serve.predictor_hits) /
+                static_cast<double>(serve.predictor_predictions),
+            4);
     table.row().cell("monitor checks").cell(serve.monitor_checks);
     table.row().cell("checkpoints written").cell(serve.checkpoints_written);
     if (serve.stopped_by_signal) table.row().cell("stopped by").cell("signal (drained)");
@@ -591,6 +601,8 @@ int cmd_serve(Args& args) {
             << ",\n"
             << "  \"latency_p50_us\": " << serve.latency_p50_us << ",\n"
             << "  \"latency_p99_us\": " << serve.latency_p99_us << ",\n"
+            << "  \"predictor_predictions\": " << serve.predictor_predictions << ",\n"
+            << "  \"predictor_hits\": " << serve.predictor_hits << ",\n"
             << "  \"monitor_checks\": " << serve.monitor_checks << ",\n"
             << "  \"checkpoints_written\": " << serve.checkpoints_written << ",\n"
             << "  \"stopped_by_signal\": " << (serve.stopped_by_signal ? "true" : "false")
