@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -65,6 +66,7 @@ struct EdfArrays {
 /// (tests/test_edf.cpp pins them).
 bool simulate_edf(const Resource& resource, Time now, std::span<const ScheduleItem> items,
                   ResourceTimeline* record, std::unordered_map<TaskUid, Time>* completion) {
+    RMWP_STAGE_SCOPE(obs::Stage::edf_simulate);
     bool feasible = true;
     Time cur = now;
 
@@ -324,6 +326,17 @@ EdfPrefilter prefilter_verdict(const Resource& resource, Time now, const Range& 
     return EdfPrefilter::feasible;
 }
 
+/// Attribute a prefilter verdict to the installed stage profile (obs hook;
+/// identity on the verdict either way).
+EdfPrefilter note_verdict(EdfPrefilter verdict) noexcept {
+    switch (verdict) {
+    case EdfPrefilter::infeasible: RMWP_STAGE_VERDICT(prefilter_infeasible); break;
+    case EdfPrefilter::feasible: RMWP_STAGE_VERDICT(prefilter_feasible); break;
+    case EdfPrefilter::unknown: RMWP_STAGE_VERDICT(prefilter_unknown); break;
+    }
+    return verdict;
+}
+
 } // namespace
 
 std::size_t insert_demand_ordered(std::vector<ScheduleItem>& items, const ScheduleItem& item) {
@@ -346,7 +359,8 @@ ResourceScheduleResult schedule_resource(const Resource& resource, Time now,
 
 EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
                                   std::span<const ScheduleItem> items) {
-    if (items.empty()) return EdfPrefilter::feasible;
+    RMWP_STAGE_SCOPE(obs::Stage::prefilter);
+    if (items.empty()) return note_verdict(EdfPrefilter::feasible);
 
     thread_local std::vector<const ScheduleItem*> order_buffer;
     std::vector<const ScheduleItem*>& order = order_buffer;
@@ -357,23 +371,24 @@ EdfPrefilter edf_demand_prefilter(const Resource& resource, Time now,
         return demand_order(*a, *b);
     });
 
-    return prefilter_verdict(resource, now, order,
-                             [](const ScheduleItem* item) -> const ScheduleItem& {
-                                 return *item;
-                             });
+    return note_verdict(prefilter_verdict(resource, now, order,
+                                          [](const ScheduleItem* item) -> const ScheduleItem& {
+                                              return *item;
+                                          }));
 }
 
 EdfPrefilter edf_demand_prefilter_sorted(const Resource& resource, Time now,
                                          std::span<const ScheduleItem> items) {
-    if (items.empty()) return EdfPrefilter::feasible;
+    RMWP_STAGE_SCOPE(obs::Stage::prefilter);
+    if (items.empty()) return note_verdict(EdfPrefilter::feasible);
 #ifdef RMWP_AUDIT
     // The incremental-state drift gate: callers promise demand order.
     RMWP_EXPECT(std::is_sorted(items.begin(), items.end(), demand_order));
 #endif
-    return prefilter_verdict(resource, now, items,
-                             [](const ScheduleItem& item) -> const ScheduleItem& {
-                                 return item;
-                             });
+    return note_verdict(prefilter_verdict(resource, now, items,
+                                          [](const ScheduleItem& item) -> const ScheduleItem& {
+                                              return item;
+                                          }));
 }
 
 bool resource_feasible(const Resource& resource, Time now, std::span<const ScheduleItem> items) {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/edf.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -134,6 +135,7 @@ Search& search_scratch() {
 
 std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
                                                  const Options& options, bool* proven_out) {
+    RMWP_STAGE_SCOPE(obs::Stage::solve);
     const std::size_t count = instance.tasks.size();
     RMWP_EXPECT(instance.platform != nullptr);
     RMWP_EXPECT(instance.blocks.size() == instance.platform->size());

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/edf.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -20,6 +21,7 @@ constexpr double kBigM = 1e9;
 
 std::optional<std::span<const ResourceId>> HeuristicRM::map_tasks(const PlanInstance& instance,
                                                               const Options& options) {
+    RMWP_STAGE_SCOPE(obs::Stage::solve);
     const std::size_t n = instance.resource_count();
     const std::size_t count = instance.tasks.size();
 

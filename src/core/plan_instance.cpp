@@ -6,6 +6,7 @@
 
 #include "core/edf.hpp"
 #include "core/reservation.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
 namespace rmwp {
@@ -135,6 +136,7 @@ void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
     const bool base_hit = cache.revision == reservations->revision() &&
                           cache.now == instance.now && cache.resources == n;
     if (!base_hit || instance.window > cache.horizon) {
+        RMWP_STAGE_SCOPE(obs::Stage::sorted_refresh);
         cache.revision = reservations->revision();
         cache.now = instance.now;
         cache.resources = n;
@@ -150,6 +152,7 @@ void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
     }
 
     if (cache.window != instance.window) {
+        RMWP_STAGE_SCOPE(obs::Stage::sorted_refresh);
         cache.window = instance.window;
         cache.blocks.assign(n, {});
         cache.blocked_time.assign(n, 0.0);
@@ -320,6 +323,7 @@ BatchPlanner::BatchPlanner(const BatchArrivalContext& batch)
 }
 
 const PlanInstance& BatchPlanner::assemble(std::size_t m, std::size_t k) {
+    RMWP_STAGE_SCOPE(obs::Stage::batch_assemble);
     RMWP_EXPECT(m < batch_->items.size());
     const BatchItem& item = batch_->items[m];
     RMWP_EXPECT(k <= item.predicted.size());
@@ -477,6 +481,22 @@ void PlanScratch::reset(const PlanInstance& instance) {
         // the prefilter's per-probe sort.
         std::sort(assigned[i].begin(), assigned[i].end(), demand_order);
     }
+
+    RMWP_STAGE_ARENA_BYTES(footprint_bytes());
+}
+
+std::uint64_t PlanScratch::footprint_bytes() const noexcept {
+    std::uint64_t bytes = capacity.capacity() * sizeof(double) +
+                          f.capacity() * sizeof(double) + excluded.capacity() +
+                          mapped.capacity() + mapping.capacity() * sizeof(ResourceId) +
+                          phys.capacity() * sizeof(ResourceId) +
+                          best_f.capacity() * sizeof(double) +
+                          second_f.capacity() * sizeof(double) +
+                          feasible_count.capacity() * sizeof(std::size_t) + dirty.capacity() +
+                          anchor_mask.capacity() * sizeof(std::uint64_t) +
+                          assigned.capacity() * sizeof(std::vector<ScheduleItem>);
+    for (const auto& schedule : assigned) bytes += schedule.capacity() * sizeof(ScheduleItem);
+    return bytes;
 }
 
 PlanScratch& PlanScratch::local() {

@@ -177,6 +177,10 @@ struct PlanScratch {
     /// schedule buffers from its reservation blocks.
     void reset(const PlanInstance& instance);
 
+    /// Total heap footprint of the arena's buffers (capacities, not
+    /// sizes).  Reported as the obs stage profile's high-water mark.
+    [[nodiscard]] std::uint64_t footprint_bytes() const noexcept;
+
     /// The calling thread's arena.
     [[nodiscard]] static PlanScratch& local();
 };

@@ -71,26 +71,45 @@ constexpr double kMsToUs = 1000.0; // simulated ms -> trace microseconds
 
 } // namespace
 
+void append_event_jsonl(std::string& out, const TraceEvent& event, bool include_host_time) {
+    char buffer[64];
+    const auto append_double = [&](double d) {
+        if (!std::isfinite(d)) {
+            out += "null";
+            return;
+        }
+        std::snprintf(buffer, sizeof buffer, "%.17g", d);
+        out += buffer;
+    };
+    out += "{\"t_sim\":";
+    append_double(event.t_sim);
+    if (include_host_time) {
+        out += ",\"t_host\":";
+        append_double(event.t_host);
+    }
+    // Event kind names are [a-z_] by construction — no string escaping.
+    out += ",\"kind\":\"";
+    out += to_string(event.kind);
+    out += "\",\"task\":";
+    if (event.task == kNoTask) out += "null";
+    else out += std::to_string(event.task);
+    out += ",\"resource\":";
+    if (event.resource < 0) out += "null";
+    else out += std::to_string(event.resource);
+    out += ",\"detail\":";
+    append_double(event.detail);
+    out += ",\"aux\":";
+    out += std::to_string(event.aux);
+    out += "}\n";
+}
+
 void write_events_jsonl(std::ostream& out, std::span<const TraceEvent> events,
                         const ExportOptions& options) {
+    std::string line;
     for (const TraceEvent& event : events) {
-        out << "{\"t_sim\":";
-        write_double(out, event.t_sim);
-        if (options.include_host_time) {
-            out << ",\"t_host\":";
-            write_double(out, event.t_host);
-        }
-        out << ",\"kind\":";
-        write_json_string(out, to_string(event.kind));
-        out << ",\"task\":";
-        if (event.task == kNoTask) out << "null";
-        else out << event.task;
-        out << ",\"resource\":";
-        if (event.resource < 0) out << "null";
-        else out << event.resource;
-        out << ",\"detail\":";
-        write_double(out, event.detail);
-        out << ",\"aux\":" << event.aux << "}\n";
+        line.clear();
+        append_event_jsonl(line, event, options.include_host_time);
+        out << line;
     }
 }
 

@@ -34,6 +34,12 @@ struct ExportOptions {
 void write_events_jsonl(std::ostream& out, std::span<const TraceEvent> events,
                         const ExportOptions& options = {});
 
+/// Append one event as a single JSONL line (including the trailing '\n') to
+/// `out`.  The unit write_events_jsonl and the rotating TraceStreamWriter
+/// are both built on, so shard files and ring dumps are byte-compatible.
+void append_event_jsonl(std::string& out, const TraceEvent& event,
+                        bool include_host_time = false);
+
 /// Parse a JSONL event stream as written by write_events_jsonl.  Any
 /// malformed line — truncated JSON, wrong types, unknown event kind —
 /// throws std::runtime_error naming the 1-based line number; garbage is

@@ -1,14 +1,25 @@
 #include "obs/metrics.hpp"
 
-#include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace rmwp::obs {
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-    RMWP_EXPECT(!bounds_.empty());
-    RMWP_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()));
+    if (bounds_.empty())
+        throw std::invalid_argument("obs: Histogram needs at least one bucket bound");
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (!std::isfinite(bounds_[i]))
+            throw std::invalid_argument("obs: Histogram bound " + std::to_string(i) +
+                                        " is not finite");
+        if (i > 0 && bounds_[i] <= bounds_[i - 1])
+            throw std::invalid_argument(
+                "obs: Histogram bounds must be strictly increasing (bound " +
+                std::to_string(i) + " = " + std::to_string(bounds_[i]) +
+                " does not exceed its predecessor " + std::to_string(bounds_[i - 1]) + ")");
+    }
     counts_.assign(bounds_.size() + 1, 0);
 }
 
@@ -38,24 +49,53 @@ template <typename Entries>
 
 } // namespace
 
+void MetricsRegistry::reject_cross_kind(std::string_view name, std::string_view kind) const {
+    const auto held_as = [&](std::string_view other_kind) {
+        throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                    "' is already registered as a " + std::string(other_kind) +
+                                    "; re-registering it as a " + std::string(kind) +
+                                    " would shadow it");
+    };
+    if (kind != "counter" && find_by_name(counters_, name) != nullptr) held_as("counter");
+    if (kind != "gauge" && find_by_name(gauges_, name) != nullptr) held_as("gauge");
+    if (kind != "histogram" && find_by_name(histograms_, name) != nullptr) held_as("histogram");
+    if (kind != "hdr histogram" && find_by_name(hdrs_, name) != nullptr)
+        held_as("hdr histogram");
+}
+
 Counter& MetricsRegistry::counter(std::string_view name, MetricScope scope) {
     if (auto* entry = find_by_name(counters_, name)) return *entry->instrument;
+    reject_cross_kind(name, "counter");
     counters_.push_back({std::string(name), scope, std::make_unique<Counter>()});
     return *counters_.back().instrument;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, MetricScope scope) {
     if (auto* entry = find_by_name(gauges_, name)) return *entry->instrument;
+    reject_cross_kind(name, "gauge");
     gauges_.push_back({std::string(name), scope, std::make_unique<Gauge>()});
     return *gauges_.back().instrument;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
                                       MetricScope scope) {
-    if (auto* entry = find_by_name(histograms_, name)) return *entry->instrument;
+    if (auto* entry = find_by_name(histograms_, name)) {
+        if (entry->instrument->bounds() != bounds)
+            throw std::invalid_argument("obs: histogram '" + std::string(name) +
+                                        "' re-registered with different bucket bounds");
+        return *entry->instrument;
+    }
+    reject_cross_kind(name, "histogram");
     histograms_.push_back(
         {std::string(name), scope, std::make_unique<Histogram>(std::move(bounds))});
     return *histograms_.back().instrument;
+}
+
+HdrHistogram& MetricsRegistry::hdr(std::string_view name, MetricScope scope) {
+    if (auto* entry = find_by_name(hdrs_, name)) return *entry->instrument;
+    reject_cross_kind(name, "hdr histogram");
+    hdrs_.push_back({std::string(name), scope, std::make_unique<HdrHistogram>()});
+    return *hdrs_.back().instrument;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -71,7 +111,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         snap.histograms.push_back({entry.name, entry.scope, entry.instrument->bounds(),
                                    entry.instrument->buckets(), entry.instrument->count(),
                                    entry.instrument->sum()});
+    snap.hdrs.reserve(hdrs_.size());
+    for (const auto& entry : hdrs_)
+        snap.hdrs.push_back({entry.name, entry.scope, entry.instrument->cells(),
+                             entry.instrument->count(), entry.instrument->sum(),
+                             entry.instrument->min(), entry.instrument->max()});
     return snap;
+}
+
+std::uint64_t MetricsSnapshot::HdrValue::quantile(double q) const {
+    HdrHistogram dense;
+    dense.load(cells, sum, min, max);
+    return dense.quantile(q);
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
@@ -95,6 +146,25 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
         mine->count += theirs.count;
         mine->sum += theirs.sum;
     }
+    for (const HdrValue& theirs : other.hdrs) {
+        auto* mine = find_by_name(hdrs, theirs.name);
+        if (mine == nullptr) {
+            hdrs.push_back(theirs);
+            continue;
+        }
+        // The shared fixed geometry makes the merge a sparse bucket-wise
+        // sum; route it through the dense form to keep cells ordered.
+        HdrHistogram merged;
+        merged.load(mine->cells, mine->sum, mine->min, mine->max);
+        HdrHistogram addend;
+        addend.load(theirs.cells, theirs.sum, theirs.min, theirs.max);
+        merged.merge(addend);
+        mine->cells = merged.cells();
+        mine->count = merged.count();
+        mine->sum = merged.sum();
+        mine->min = merged.min();
+        mine->max = merged.max();
+    }
 }
 
 const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
@@ -110,6 +180,11 @@ const MetricsSnapshot::GaugeValue* MetricsSnapshot::find_gauge(
 const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
     std::string_view name) const noexcept {
     return find_by_name(histograms, name);
+}
+
+const MetricsSnapshot::HdrValue* MetricsSnapshot::find_hdr(
+    std::string_view name) const noexcept {
+    return find_by_name(hdrs, name);
 }
 
 bool deterministic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
@@ -152,6 +227,22 @@ bool deterministic_equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
         if (ha[i]->name != hb[i]->name || ha[i]->bounds != hb[i]->bounds ||
             ha[i]->buckets != hb[i]->buckets || ha[i]->count != hb[i]->count ||
             ha[i]->sum != hb[i]->sum)
+            return false;
+    }
+
+    const auto sim_hdrs = [](const MetricsSnapshot& s) {
+        std::vector<const MetricsSnapshot::HdrValue*> out;
+        for (const auto& h : s.hdrs)
+            if (h.scope == MetricScope::sim) out.push_back(&h);
+        return out;
+    };
+    const auto da = sim_hdrs(a);
+    const auto db = sim_hdrs(b);
+    if (da.size() != db.size()) return false;
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        if (da[i]->name != db[i]->name || da[i]->cells != db[i]->cells ||
+            da[i]->count != db[i]->count || da[i]->sum != db[i]->sum ||
+            da[i]->min != db[i]->min || da[i]->max != db[i]->max)
             return false;
     }
     return true;

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/hdr.hpp"
+
 namespace rmwp::obs {
 
 enum class MetricScope : std::uint8_t {
@@ -50,6 +52,9 @@ private:
 /// snapshots from different traces merge bucket-by-bucket.
 class Histogram {
 public:
+    /// Throws std::invalid_argument unless bounds are non-empty, finite,
+    /// and strictly increasing (equal or NaN bounds would make bucket
+    /// assignment ambiguous and snapshots unmergeable).
     explicit Histogram(std::vector<double> bounds);
 
     void record(double v) noexcept;
@@ -88,13 +93,27 @@ struct MetricsSnapshot {
         std::uint64_t count = 0;
         double sum = 0.0;
     };
+    /// Sparse HDR histogram state (bucket geometry is global, so cells +
+    /// exact extrema reconstruct the full histogram; see obs/hdr.hpp).
+    struct HdrValue {
+        std::string name;
+        MetricScope scope = MetricScope::sim;
+        std::vector<HdrCell> cells;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+
+        [[nodiscard]] std::uint64_t quantile(double q) const;
+    };
 
     std::vector<CounterValue> counters;
     std::vector<GaugeValue> gauges;
     std::vector<HistogramValue> histograms;
+    std::vector<HdrValue> hdrs;
 
     [[nodiscard]] bool empty() const noexcept {
-        return counters.empty() && gauges.empty() && histograms.empty();
+        return counters.empty() && gauges.empty() && histograms.empty() && hdrs.empty();
     }
 
     /// Sum `other` into this snapshot, matching entries by name (counters
@@ -106,6 +125,7 @@ struct MetricsSnapshot {
     [[nodiscard]] const CounterValue* find_counter(std::string_view name) const noexcept;
     [[nodiscard]] const GaugeValue* find_gauge(std::string_view name) const noexcept;
     [[nodiscard]] const HistogramValue* find_histogram(std::string_view name) const noexcept;
+    [[nodiscard]] const HdrValue* find_hdr(std::string_view name) const noexcept;
 
     [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept {
         const CounterValue* c = find_counter(name);
@@ -127,13 +147,18 @@ public:
     MetricsRegistry(const MetricsRegistry&) = delete;
     MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-    /// Find-or-create.  Re-registering an existing name returns the
-    /// original instrument; a histogram re-registered with different
-    /// bounds keeps the bounds it was first created with.
+    /// Find-or-create.  Re-registering an existing name with the same kind
+    /// (and, for histograms, the same bounds) returns the original
+    /// instrument.  Registering a name already held by a *different* kind
+    /// — or a histogram with different bounds — throws
+    /// std::invalid_argument: two instruments sharing one name would
+    /// silently shadow each other in snapshots and `/metrics` output.
     [[nodiscard]] Counter& counter(std::string_view name, MetricScope scope = MetricScope::sim);
     [[nodiscard]] Gauge& gauge(std::string_view name, MetricScope scope = MetricScope::sim);
     [[nodiscard]] Histogram& histogram(std::string_view name, std::vector<double> bounds,
                                        MetricScope scope = MetricScope::sim);
+    [[nodiscard]] HdrHistogram& hdr(std::string_view name,
+                                    MetricScope scope = MetricScope::sim);
 
     [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -145,9 +170,14 @@ private:
         std::unique_ptr<T> instrument;
     };
 
+    /// Throws std::invalid_argument when `name` is already registered
+    /// under a kind other than `kind` (the anti-shadowing rule above).
+    void reject_cross_kind(std::string_view name, std::string_view kind) const;
+
     std::vector<Entry<Counter>> counters_;
     std::vector<Entry<Gauge>> gauges_;
     std::vector<Entry<Histogram>> histograms_;
+    std::vector<Entry<HdrHistogram>> hdrs_;
 };
 
 } // namespace rmwp::obs

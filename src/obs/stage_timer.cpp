@@ -1,0 +1,23 @@
+#include "obs/stage_timer.hpp"
+
+namespace rmwp::obs {
+
+const char* to_string(Stage stage) noexcept {
+    switch (stage) {
+    case Stage::decide: return "decide";
+    case Stage::solve: return "solve";
+    case Stage::batch_assemble: return "batch_assemble";
+    case Stage::sorted_refresh: return "sorted_refresh";
+    case Stage::prefilter: return "prefilter";
+    case Stage::edf_simulate: return "edf_simulate";
+    }
+    return "unknown";
+}
+
+#ifdef RMWP_OBS
+namespace detail {
+thread_local StageStats* t_stage_stats = nullptr;
+} // namespace detail
+#endif
+
+} // namespace rmwp::obs

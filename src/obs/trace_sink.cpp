@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/trace_stream.hpp"
 #include "util/check.hpp"
 
 namespace rmwp::obs {
@@ -42,6 +43,7 @@ void TraceSink::emit(double t_sim, EventKind kind, std::uint64_t task, std::int6
     slot.aux = aux;
     slot.kind = kind;
     ++emitted_;
+    if (stream_ != nullptr) stream_->append(slot);
 }
 
 std::vector<TraceEvent> TraceSink::events() const {

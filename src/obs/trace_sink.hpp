@@ -28,6 +28,8 @@
 
 namespace rmwp::obs {
 
+class TraceStreamWriter;
+
 class TraceSink {
 public:
     static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
@@ -62,12 +64,21 @@ public:
     [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
     [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+    /// Forward every emitted event to a durable rotating shard stream (in
+    /// addition to the ring).  The writer must outlive the sink or be
+    /// detached with nullptr first; emit() stays noexcept by treating
+    /// stream I/O failures as fatal (a durable trace that silently loses
+    /// events would be worse than a crash).
+    void set_stream(TraceStreamWriter* stream) noexcept { stream_ = stream; }
+    [[nodiscard]] TraceStreamWriter* stream() const noexcept { return stream_; }
+
 private:
     std::vector<TraceEvent> ring_;
     std::size_t capacity_;
     std::uint64_t emitted_ = 0;
     std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
     MetricsRegistry metrics_;
+    TraceStreamWriter* stream_ = nullptr;
 };
 
 } // namespace rmwp::obs

@@ -1,0 +1,98 @@
+// Rotating JSONL trace shards for endless serve runs (DESIGN.md §14).
+//
+// The in-memory TraceSink ring keeps only the most recent `capacity`
+// events; a long-running service needs durable traces.  TraceStreamWriter
+// appends every event to the current shard file (`events-00000.jsonl`,
+// byte-compatible with write_events_jsonl) and rotates to a new shard when
+// the event-count or byte budget is exceeded.  `index.json` in the same
+// directory — rewritten atomically (tmp + rename) on every rotation and on
+// finish() — lists each shard with its event count, byte size, and covered
+// simulated-time range, so consumers can locate a time window without
+// scanning every shard.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace rmwp::obs {
+
+struct TraceStreamOptions {
+    std::uint64_t max_events_per_shard = 1u << 16;       ///< rotate after this many events
+    std::uint64_t max_bytes_per_shard = 64u * 1024 * 1024; ///< ... or this many bytes
+    bool include_host_time = false; ///< host timestamps make shards nondeterministic
+};
+
+class TraceStreamWriter {
+public:
+    /// Creates `directory` (and parents) if needed; throws
+    /// std::runtime_error when the directory or first shard cannot be
+    /// created or the options are degenerate (zero budgets).
+    explicit TraceStreamWriter(std::string directory, TraceStreamOptions options = {});
+    ~TraceStreamWriter();
+    TraceStreamWriter(const TraceStreamWriter&) = delete;
+    TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+
+    /// Append one event to the current shard, rotating first when the
+    /// budgets are already spent.  Throws std::runtime_error on I/O errors
+    /// (short writes must not silently truncate a durable trace).
+    void append(const TraceEvent& event);
+
+    /// Seal the current shard and write the final index.  Idempotent;
+    /// called by the destructor, but callers that care about errors should
+    /// call it explicitly (the destructor swallows them).
+    void finish();
+
+    [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+    /// Shards on disk, including the one currently being written.
+    [[nodiscard]] std::uint64_t shard_count() const noexcept;
+    [[nodiscard]] std::uint64_t total_events() const noexcept { return total_events_; }
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+private:
+    struct ShardInfo {
+        std::string file; ///< name relative to directory_
+        std::uint64_t events = 0;
+        std::uint64_t bytes = 0;
+        double first_t_sim = 0.0;
+        double last_t_sim = 0.0;
+    };
+
+    void open_shard();
+    void seal_shard();
+    void write_index() const;
+
+    std::string directory_;
+    TraceStreamOptions options_;
+    std::ofstream out_;
+    std::string line_; ///< reused per-event serialisation buffer
+    std::vector<ShardInfo> sealed_;
+    ShardInfo current_;
+    std::uint64_t next_shard_ = 0;
+    std::uint64_t total_events_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    bool shard_open_ = false;
+    bool finished_ = false;
+};
+
+/// Parsed index.json contents (shards in write order) for consumers and the
+/// rotation round-trip test.  Throws std::runtime_error on malformed input.
+struct TraceStreamIndex {
+    struct Shard {
+        std::string file;
+        std::uint64_t events = 0;
+        std::uint64_t bytes = 0;
+        double first_t_sim = 0.0;
+        double last_t_sim = 0.0;
+    };
+    std::vector<Shard> shards;
+    std::uint64_t total_events = 0;
+    std::uint64_t total_bytes = 0;
+
+    [[nodiscard]] static TraceStreamIndex load(const std::string& directory);
+};
+
+} // namespace rmwp::obs

@@ -10,37 +10,21 @@
 
 namespace rmwp {
 
-void LatencyBuckets::record(double microseconds) noexcept {
-    std::size_t bucket = 0;
-    if (microseconds >= 1.0) {
-        const int exponent = std::ilogb(microseconds);
-        bucket = std::min<std::size_t>(static_cast<std::size_t>(exponent) + 1, kBuckets - 1);
-    }
-    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+void LatencyHdr::record(double microseconds) noexcept {
+    // NaN and negatives clamp to zero; the *1000 ns conversion keeps
+    // sub-microsecond latencies distinguishable in the HDR linear range.
+    const double us = microseconds > 0.0 ? microseconds : 0.0;
+    hdr_.record(static_cast<std::uint64_t>(std::llround(us * 1000.0)));
 }
 
-double LatencyBuckets::quantile_us(double q) const noexcept {
-    std::array<std::uint64_t, kBuckets> snapshot{};
-    std::uint64_t total = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        snapshot[b] = counts_[b].load(std::memory_order_relaxed);
-        total += snapshot[b];
-    }
-    if (total == 0) return 0.0;
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        seen += snapshot[b];
-        if (seen > rank) return std::ldexp(1.0, static_cast<int>(b)); // bucket upper bound
-    }
-    return std::ldexp(1.0, static_cast<int>(kBuckets - 1));
+double LatencyHdr::quantile_us(double q) const noexcept {
+    if (hdr_.count() == 0) return 0.0;
+    return static_cast<double>(hdr_.quantile(q)) / 1000.0;
 }
 
-std::uint64_t LatencyBuckets::count() const noexcept {
-    std::uint64_t total = 0;
-    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-    return total;
-}
+std::uint64_t LatencyHdr::count() const noexcept { return hdr_.count(); }
+
+double LatencyHdr::sum_us() const noexcept { return static_cast<double>(hdr_.sum()) / 1000.0; }
 
 std::uint64_t read_rss_kb() {
     std::ifstream status("/proc/self/status");

@@ -22,7 +22,6 @@
 // limits, so every invariant is unit-testable without threads.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -32,23 +31,29 @@
 #include <string>
 #include <thread>
 
+#include "obs/hdr.hpp"
+
 namespace rmwp {
 
-/// Lock-free log2-bucketed latency histogram (microseconds).  record() is a
-/// single relaxed fetch_add; quantiles are approximate (upper bucket bound,
-/// i.e. within 2x), which is plenty for a p99-under-budget invariant.
-class LatencyBuckets {
+/// Lock-free HDR latency histogram (microseconds in, nanosecond ticks
+/// stored).  record() is three relaxed fetch_adds; quantiles are exact to
+/// the HDR bucket resolution (~3% relative error), a large upgrade over the
+/// previous within-2x log2 buckets and good enough to expose p50/p90/p99/
+/// p99.9 on /metrics directly.
+class LatencyHdr {
 public:
-    static constexpr std::size_t kBuckets = 40; ///< [1us, ~2^39us ≈ 9 days)
-
     void record(double microseconds) noexcept;
-    /// Upper bound of the bucket holding quantile `q` in [0, 1]; 0 when
+    /// Upper bound of the HDR bucket holding quantile `q` in [0, 1]; 0 when
     /// empty.
     [[nodiscard]] double quantile_us(double q) const noexcept;
     [[nodiscard]] std::uint64_t count() const noexcept;
+    /// Total recorded latency in microseconds (for summary _sum lines).
+    [[nodiscard]] double sum_us() const noexcept;
+    /// Consistent-enough copy for rendering (nanosecond ticks).
+    [[nodiscard]] obs::HdrHistogram snapshot() const { return hdr_.snapshot(); }
 
 private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    obs::AtomicHdrHistogram hdr_;
 };
 
 /// Shared between the serve loop (writer) and the monitor thread (reader).
@@ -63,8 +68,11 @@ struct HealthBoard {
     std::atomic<std::uint64_t> audit_checks{0};
     std::atomic<std::uint64_t> active{0};          ///< engine active set size
     std::atomic<std::uint64_t> ring_occupancy{0};  ///< observability ring
+    std::atomic<std::uint64_t> ring_dropped{0};    ///< events lost to ring overflow
+    std::atomic<std::uint64_t> predictor_predictions{0}; ///< resolved predictions
+    std::atomic<std::uint64_t> predictor_hits{0};        ///< ... that were correct
     std::atomic<double> sim_clock{0.0};
-    LatencyBuckets latency; ///< wall-clock per-arrival service latency
+    LatencyHdr latency; ///< wall-clock per-arrival service latency
 };
 
 /// One consistent-enough read of the board (fields are sampled

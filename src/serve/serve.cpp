@@ -10,12 +10,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace_sink.hpp"
 #include "predict/online.hpp"
 #include "sim/engine.hpp"
@@ -254,10 +258,132 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
         board.active.store(engine.active_count(), std::memory_order_relaxed);
         board.queued.store(backlog.size(), std::memory_order_relaxed);
         board.sim_clock.store(engine.clock(), std::memory_order_relaxed);
-        if (config.sim.sink != nullptr)
+        if (config.sim.sink != nullptr) {
             board.ring_occupancy.store(config.sim.sink->occupancy(),
                                        std::memory_order_relaxed);
+            board.ring_dropped.store(config.sim.sink->dropped(), std::memory_order_relaxed);
+        }
+        if (online != nullptr) {
+            board.predictor_predictions.store(online->type_predictions(),
+                                              std::memory_order_relaxed);
+            board.predictor_hits.store(online->type_hits(), std::memory_order_relaxed);
+        }
     };
+
+    // --- per-stage profile + live telemetry (DESIGN.md §14) ---
+    // The profile block is serve-thread-owned; the telemetry thread only
+    // ever reads the mutex-protected Published copy, the board's atomics,
+    // and the monitor's latched violation — the admission loop never blocks
+    // on a socket and TSan sees no unsynchronised sharing.
+    obs::StageStats stage_stats;
+    const bool profile_stages =
+        config.telemetry_port >= 0 || config.stage_stats_out != nullptr;
+#ifdef RMWP_OBS
+    std::optional<obs::StageStatsScope> stage_scope;
+    if (profile_stages) stage_scope.emplace(&stage_stats);
+#endif
+
+    struct Published {
+        std::mutex mutex;
+        obs::MetricsSnapshot metrics;
+        obs::StageStats stages;
+        bool have = false;
+    };
+    Published published;
+
+    std::optional<obs::TelemetryServer> telemetry;
+    const auto publish_telemetry = [&] {
+        if (!telemetry.has_value()) return;
+        std::lock_guard<std::mutex> lock(published.mutex);
+        if (config.sim.sink != nullptr)
+            published.metrics = config.sim.sink->metrics().snapshot();
+        published.stages = stage_stats;
+        published.have = true;
+    };
+
+    if (config.telemetry_port >= 0) {
+        obs::TelemetryHandlers handlers;
+        handlers.metrics = [&board, &published, &monitor, profile_stages] {
+            obs::PrometheusText text;
+            {
+                std::lock_guard<std::mutex> lock(published.mutex);
+                if (published.have) {
+                    obs::render_metrics(text, published.metrics, "rmwp_engine_");
+                    if (profile_stages) obs::render_stage_stats(text, published.stages, "rmwp_");
+                }
+            }
+            const BoardSample sample = sample_board(board);
+            const auto gauge = [&text](const char* name, const char* help,
+                                       std::uint64_t value) {
+                text.family(name, help, "gauge");
+                text.sample(name, "", value);
+            };
+            text.family("rmwp_serve_arrivals_total", "arrivals consumed from the source",
+                        "counter");
+            text.sample("rmwp_serve_arrivals_total", "", sample.arrivals);
+            text.family("rmwp_serve_decided_total", "arrivals flushed through the RM",
+                        "counter");
+            text.sample("rmwp_serve_decided_total", "", sample.decided);
+            text.family("rmwp_serve_shed_total", "arrivals dropped by overload protection",
+                        "counter");
+            text.sample("rmwp_serve_shed_total", "", sample.shed);
+            text.family("rmwp_serve_completed_total", "tasks completed", "counter");
+            text.sample("rmwp_serve_completed_total", "", sample.completed);
+            text.family("rmwp_serve_deadline_misses_total", "admitted-task deadline misses",
+                        "counter");
+            text.sample("rmwp_serve_deadline_misses_total", "", sample.deadline_misses);
+            gauge("rmwp_serve_backlog_depth", "requests waiting in the admission backlog",
+                  sample.queued);
+            gauge("rmwp_serve_active_tasks", "engine active set size", sample.active);
+            gauge("rmwp_serve_ring_occupancy", "observability ring events retained",
+                  sample.ring_occupancy);
+            text.family("rmwp_serve_ring_dropped_total",
+                        "observability ring events lost to wraparound", "counter");
+            text.sample("rmwp_serve_ring_dropped_total", "",
+                        board.ring_dropped.load(std::memory_order_relaxed));
+            gauge("rmwp_serve_rss_kb", "process resident set size (kB)", sample.rss_kb);
+            text.family("rmwp_serve_sim_clock_seconds", "simulation clock", "gauge");
+            text.sample("rmwp_serve_sim_clock_seconds", "", sample.sim_clock);
+
+            const std::uint64_t predictions =
+                board.predictor_predictions.load(std::memory_order_relaxed);
+            const std::uint64_t hits = board.predictor_hits.load(std::memory_order_relaxed);
+            text.family("rmwp_serve_predictor_hit_ratio",
+                        "online-predictor hit rate over the whole run (NaN before the "
+                        "first scored prediction)",
+                        "gauge");
+            text.sample("rmwp_serve_predictor_hit_ratio", "",
+                        predictions > 0 ? static_cast<double>(hits) /
+                                              static_cast<double>(predictions)
+                                        : std::numeric_limits<double>::quiet_NaN());
+
+            // Service latency as a summary straight off the board's live HDR.
+            text.family("rmwp_serve_latency_us",
+                        "wall-clock service latency per backlog flush (microseconds)",
+                        "summary");
+            for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+                char label[32];
+                std::snprintf(label, sizeof label, "quantile=\"%g\"", q);
+                text.sample("rmwp_serve_latency_us", label, board.latency.quantile_us(q));
+            }
+            text.sample("rmwp_serve_latency_us", "", board.latency.sum_us(), "_sum");
+            text.sample("rmwp_serve_latency_us", "", board.latency.count(), "_count");
+
+            gauge("rmwp_serve_healthy",
+                  "1 while no invariant violation has been latched",
+                  monitor.violation().has_value() ? 0u : 1u);
+            return text.take();
+        };
+        handlers.health = [&monitor] {
+            const auto violation = monitor.violation();
+            return violation.has_value() ? violation->to_string() : std::string();
+        };
+        telemetry.emplace(config.telemetry_port, std::move(handlers));
+        if (config.telemetry_port_out != nullptr)
+            config.telemetry_port_out->store(telemetry->port(), std::memory_order_release);
+        std::cerr << "[serve] telemetry listening on 127.0.0.1:" << telemetry->port() << '\n';
+        publish_telemetry();
+    }
 
     const auto emit_windows = [&] {
         while (engine.clock() >= next_window) {
@@ -271,6 +397,18 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                           static_cast<unsigned long long>(shed - window_base.shed),
                           r.completed - window_base.completed, r.deadline_misses - window_base.misses,
                           engine.active_count(), r.total_energy - window_base.energy);
+            window_out << line;
+            if (config.sim.sink != nullptr) {
+                // Ring health: events currently retained / lost to
+                // wraparound since the run began (cumulative — a growing
+                // second number means the ring is undersized).
+                std::snprintf(line, sizeof line, " ring=%llu/%llu",
+                              static_cast<unsigned long long>(config.sim.sink->occupancy()),
+                              static_cast<unsigned long long>(config.sim.sink->dropped()));
+                window_out << line;
+            }
+            std::snprintf(line, sizeof line, " p99=%.0fus",
+                          board.latency.quantile_us(0.99));
             window_out << line;
             const std::size_t predictions =
                 online != nullptr ? online->type_predictions() : 0;
@@ -293,6 +431,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                            r.total_energy, predictions, hits};
             next_window += config.window;
             ++windows_emitted;
+            publish_telemetry();
         }
     };
 
@@ -430,6 +569,10 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
         board.arrivals.store(consumed, std::memory_order_relaxed);
         board.parse_errors.store(source.parse_errors(), std::memory_order_relaxed);
         publish_engine_state();
+        // Refresh the telemetry snapshot every 256 consumed arrivals: a
+        // registry snapshot copies every counter, too dear per arrival and
+        // plenty fresh for a scrape endpoint (windows also refresh it).
+        if (telemetry.has_value() && consumed % 256 == 0) publish_telemetry();
 
         if (config.chaos_fake_miss_at != 0 && consumed == config.chaos_fake_miss_at) {
             chaos_extra_misses = 1;
@@ -452,6 +595,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
     }
     out.result = engine.finish_stream();
     publish_engine_state();
+    publish_telemetry();
 
     if (config.monitor) {
         monitor.check_now();
@@ -470,10 +614,24 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                                                      wall_begin)
                            .count();
     out.latency_p50_us = board.latency.quantile_us(0.50);
+    out.latency_p90_us = board.latency.quantile_us(0.90);
     out.latency_p99_us = board.latency.quantile_us(0.99);
+    out.latency_p999_us = board.latency.quantile_us(0.999);
+    if (config.sim.sink != nullptr) {
+        out.ring_occupancy = config.sim.sink->occupancy();
+        out.ring_dropped = config.sim.sink->dropped();
+    }
     if (online != nullptr) {
         out.predictor_predictions = online->type_predictions();
         out.predictor_hits = online->type_hits();
+    }
+    if (config.stage_stats_out != nullptr) *config.stage_stats_out = stage_stats;
+    if (telemetry.has_value()) {
+        // Leave the endpoint answering through the drain (a scrape during
+        // SIGTERM shutdown must still see well-formed metrics); stop only
+        // once the final state is published.
+        out.telemetry_requests = telemetry->requests_served();
+        telemetry->stop();
     }
     if (const auto violation = monitor.violation(); violation.has_value()) {
         out.exit_code = 3;

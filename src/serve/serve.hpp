@@ -32,6 +32,7 @@
 //     exit status 0.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -40,6 +41,7 @@
 #include "core/reservation.hpp"
 #include "fault/fault.hpp"
 #include "metrics/trace_result.hpp"
+#include "obs/stage_timer.hpp"
 #include "predict/predictor.hpp"
 #include "serve/arrival_source.hpp"
 #include "serve/monitor.hpp"
@@ -94,6 +96,19 @@ struct ServeConfig {
     Time window = 0.0;    ///< emit one stats line per window of sim time; 0 = off
     std::ostream* window_out = nullptr; ///< default std::cerr
 
+    // --- live telemetry (DESIGN.md §14) ---
+    /// HTTP telemetry endpoint (GET /metrics, GET /healthz) bound to
+    /// 127.0.0.1:<port>.  0 picks an ephemeral port; -1 (default) disables
+    /// the server.  Enabling telemetry also enables per-stage profiling.
+    int telemetry_port = -1;
+    /// When non-null, receives the bound port once the server is listening
+    /// (tests use port 0 and read the real port from here).
+    std::atomic<int>* telemetry_port_out = nullptr;
+    /// When non-null, receives the run's final per-stage profile and
+    /// enables stage profiling even with the telemetry server disabled
+    /// (bit-identity tests compare decisions with this on vs off).
+    obs::StageStats* stage_stats_out = nullptr;
+
     /// Test hook (chaos): after this many consumed arrivals, fake a
     /// deadline-miss on the health board (the engine result is untouched)
     /// to prove the monitor catches violations end to end.  0 = off.
@@ -120,8 +135,17 @@ struct ServeResult {
     double wall_seconds = 0.0;
     /// Wall-clock service latency per backlog flush (per arrival when
     /// batching is off; per coalesced group under batch_window >= 0).
+    /// HDR-backed: quantiles are exact to ~3 % bucket resolution.
     double latency_p50_us = 0.0;
+    double latency_p90_us = 0.0;
     double latency_p99_us = 0.0;
+    double latency_p999_us = 0.0;
+    /// Observability-ring state at exit (both 0 without a sink): events
+    /// retained, and events lost to ring wraparound over the whole run.
+    std::uint64_t ring_occupancy = 0;
+    std::uint64_t ring_dropped = 0;
+    /// HTTP requests the telemetry endpoint answered (0 when disabled).
+    std::uint64_t telemetry_requests = 0;
     /// Online-predictor self-scoring (both 0 when the predictor is not the
     /// online one): identity predictions issued, and the subset the next
     /// arrival proved correct.  The rolling-window stats line reports the

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/stage_timer.hpp"
 #include "obs/trace_sink.hpp"
 #include "util/check.hpp"
 #include "util/hexfloat.hpp"
@@ -124,7 +125,7 @@ Time SimEngine::stream_arrival_batch(std::span<const StreamArrival> arrivals, Ti
     return decision_time;
 }
 
-void SimEngine::stream_shed(const Request& request, TaskUid uid) {
+void SimEngine::stream_shed(const Request& request, [[maybe_unused]] TaskUid uid) {
     RMWP_EXPECT(streaming_);
     ++result_.requests;
     result_.reference_energy += catalog_.type(request.type).mean_energy();
@@ -393,7 +394,7 @@ void SimEngine::process_request(std::size_t index, Time decision_time) {
     decide_on(trace_->request(index), static_cast<TaskUid>(index), index, decision_time);
 }
 
-void SimEngine::reject_doomed(TaskUid uid, Time decision_time) {
+void SimEngine::reject_doomed([[maybe_unused]] TaskUid uid, [[maybe_unused]] Time decision_time) {
     ++result_.rejected;
     RMWP_TRACE(options_.sink, decision_time, obs::EventKind::reject, uid, obs::kNoResource, 0.0,
                static_cast<std::uint32_t>(RejectReason::deadline_passed));
@@ -439,6 +440,9 @@ void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index
     result_.decision_seconds += std::chrono::duration<double>(finished - started).count();
 
 #ifdef RMWP_OBS
+    obs::stage_add_timed_ns(
+        obs::Stage::decide,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(finished - started).count());
     if (options_.sink != nullptr) {
         // host scope: measures this machine, excluded from determinism.
         ins_.admission_latency_us->record(
@@ -557,6 +561,9 @@ void SimEngine::decide_batch_on(Time decision_time) {
     RMWP_ENSURE(batch_items_.empty() || batch_decisions_.size() == batch_items_.size());
 
 #ifdef RMWP_OBS
+    obs::stage_add_timed_ns(
+        obs::Stage::decide,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(finished - started).count());
     if (options_.sink != nullptr) {
         // host scope: one record per batch — the amortised cost is the
         // quantity of interest on the batched path.

@@ -98,7 +98,7 @@ TEST(AnalyzeR4, LayeringViolationsFireOnlyForForbiddenEdges) {
     const std::string file = fixture("src/core/r4_layering.cpp");
     const Report report = analyze_files({file});
     ASSERT_EQ(report.unwaived(), 2u);
-    EXPECT_TRUE(has_diagnostic(report, file, 2, "R4")); // core -> obs
+    EXPECT_TRUE(has_diagnostic(report, file, 2, "R4")); // core -> sim
     EXPECT_TRUE(has_diagnostic(report, file, 3, "R4")); // core -> serve
     // line 4 (core -> util) is a DAG edge and must stay silent.
     EXPECT_FALSE(has_diagnostic(report, file, 4, "R4"));

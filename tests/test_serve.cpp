@@ -421,16 +421,25 @@ TEST(Monitor, CheckInvariantsCatchesEachViolationClass) {
     EXPECT_EQ(latency->invariant, "latency_budget");
 }
 
-TEST(Monitor, LatencyBucketsApproximateQuantiles) {
-    LatencyBuckets buckets;
-    for (int k = 0; k < 99; ++k) buckets.record(10.0);
-    buckets.record(100000.0);
-    EXPECT_EQ(buckets.count(), 100u);
-    // Log2 buckets, nearest-rank: answers are upper bucket bounds (within
-    // 2x of the truth); the max only surfaces at q = 1.
-    EXPECT_LE(buckets.quantile_us(0.5), 32.0);
-    EXPECT_LE(buckets.quantile_us(0.99), 32.0);
-    EXPECT_GE(buckets.quantile_us(1.0), 100000.0);
+TEST(Monitor, LatencyHdrQuantiles) {
+    LatencyHdr latency;
+    for (int k = 0; k < 99; ++k) latency.record(10.0);
+    latency.record(100000.0);
+    EXPECT_EQ(latency.count(), 100u);
+    // HDR buckets: answers are upper bucket bounds within ~3.1 % of the
+    // truth (a large upgrade over the old within-2x log2 buckets); the
+    // outlier only surfaces at q = 1.
+    EXPECT_GE(latency.quantile_us(0.5), 10.0);
+    EXPECT_LE(latency.quantile_us(0.5), 10.4);
+    EXPECT_LE(latency.quantile_us(0.99), 10.4);
+    EXPECT_GE(latency.quantile_us(1.0), 100000.0);
+    EXPECT_LE(latency.quantile_us(1.0), 103200.0);
+    EXPECT_NEAR(latency.sum_us(), 99 * 10.0 + 100000.0, 1.0);
+    // Sub-microsecond samples stay distinguishable (nanosecond ticks).
+    LatencyHdr fine;
+    fine.record(0.05); // 50 ns
+    EXPECT_GE(fine.quantile_us(1.0), 0.05);
+    EXPECT_LE(fine.quantile_us(1.0), 0.06);
 }
 
 TEST(Serve, MonitorCatchesInjectedViolation) {

@@ -1,5 +1,5 @@
 // R4 fixture: a core file reaching up the stack.
-#include "obs/event.hpp"
+#include "sim/engine.hpp"
 #include "serve/serve.hpp"
 #include "util/check.hpp"
 

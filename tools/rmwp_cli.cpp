@@ -77,6 +77,13 @@
 //                             [--rss-budget-mb 0] [--active-budget 0]
 //                             [--latency-budget-us 0] [--expect-no-misses auto]
 //                             [--stats-json out.json] [--events-out out.jsonl]
+//                             [--telemetry-port P] (HTTP GET /metrics and
+//                                                   /healthz on 127.0.0.1:P;
+//                                                   0 = ephemeral port,
+//                                                   printed to stderr)
+//                             [--trace-stream DIR] (durable JSONL event
+//                                                   shards, size-rotated,
+//                                                   with an index.json)
 //                             Exit: 0 clean drain (incl. SIGTERM/SIGINT),
 //                             3 invariant violation.
 //
@@ -113,6 +120,7 @@
 #include "fault/fault.hpp"
 #include "obs/export.hpp"
 #include "obs/trace_sink.hpp"
+#include "obs/trace_stream.hpp"
 #include "core/exact_rm.hpp"
 #include "core/heuristic_rm.hpp"
 #include "core/milp_rm.hpp"
@@ -536,13 +544,25 @@ int cmd_serve(Args& args) {
 
     const std::optional<std::string> stats_json = args.get("stats-json");
     const std::optional<std::string> events_out = args.get("events-out");
+    const std::int64_t telemetry_port = args.integer("telemetry-port", -1);
+    if (telemetry_port > 65535)
+        throw std::runtime_error("--telemetry-port must be in [0, 65535]");
+    config.telemetry_port = static_cast<int>(telemetry_port);
+    const std::optional<std::string> trace_stream = args.get("trace-stream");
     args.reject_unknown();
 
     obs::TraceSink sink;
-    if (events_out) {
+    std::optional<obs::TraceStreamWriter> stream;
+    // Telemetry scrapes the sink's metrics registry, so any of the three
+    // observability outputs attaches the sink to the engine.
+    if (events_out || trace_stream || config.telemetry_port >= 0) {
         require_obs_build();
         config.sim.sink = &sink;
         config.limits.ring_capacity = sink.capacity();
+    }
+    if (trace_stream) {
+        stream.emplace(*trace_stream, obs::TraceStreamOptions{});
+        sink.set_stream(&*stream);
     }
 
     const std::unique_ptr<Predictor> predictor = make_predictor(spec, catalog, Rng(seed));
@@ -550,6 +570,10 @@ int cmd_serve(Args& args) {
     install_serve_signal_handlers();
     const ServeResult serve =
         run_serve(platform, catalog, *rm, *predictor, nullptr, *source, config);
+    if (stream.has_value()) {
+        sink.set_stream(nullptr);
+        stream->finish();
+    }
     const TraceResult& result = serve.result;
 
     Table table({"metric", "value"});
@@ -569,6 +593,13 @@ int cmd_serve(Args& args) {
         0);
     table.row().cell("latency p50/p99 (us)").cell(
         format_fixed(serve.latency_p50_us, 0) + " / " + format_fixed(serve.latency_p99_us, 0));
+    if (config.sim.sink != nullptr)
+        table.row().cell("ring occupancy/dropped").cell(
+            std::to_string(serve.ring_occupancy) + " / " + std::to_string(serve.ring_dropped));
+    if (config.telemetry_port >= 0)
+        table.row().cell("telemetry requests").cell(serve.telemetry_requests);
+    if (stream.has_value())
+        table.row().cell("trace shards").cell(stream->shard_count());
     if (serve.predictor_predictions > 0)
         table.row().cell("predictor hit rate").cell(
             static_cast<double>(serve.predictor_hits) /
@@ -600,7 +631,12 @@ int cmd_serve(Args& args) {
                     : 0.0)
             << ",\n"
             << "  \"latency_p50_us\": " << serve.latency_p50_us << ",\n"
+            << "  \"latency_p90_us\": " << serve.latency_p90_us << ",\n"
             << "  \"latency_p99_us\": " << serve.latency_p99_us << ",\n"
+            << "  \"latency_p999_us\": " << serve.latency_p999_us << ",\n"
+            << "  \"ring_occupancy\": " << serve.ring_occupancy << ",\n"
+            << "  \"ring_dropped\": " << serve.ring_dropped << ",\n"
+            << "  \"telemetry_requests\": " << serve.telemetry_requests << ",\n"
             << "  \"predictor_predictions\": " << serve.predictor_predictions << ",\n"
             << "  \"predictor_hits\": " << serve.predictor_hits << ",\n"
             << "  \"monitor_checks\": " << serve.monitor_checks << ",\n"
