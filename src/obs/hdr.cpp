@@ -93,11 +93,24 @@ std::uint64_t AtomicHdrHistogram::quantile(double q) const noexcept {
 }
 
 HdrHistogram AtomicHdrHistogram::snapshot() const {
-    HdrHistogram out;
+    std::vector<HdrCell> cells;
+    std::size_t lo = kBucketCount;
+    std::size_t hi = 0;
     for (std::size_t i = 0; i < kBucketCount; ++i) {
         const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
-        if (n != 0) out.record_n(bucket_upper(i), n);
+        if (n == 0) continue;
+        cells.push_back({static_cast<std::uint32_t>(i), n});
+        if (lo == kBucketCount) lo = i;
+        hi = i;
     }
+    HdrHistogram out;
+    if (cells.empty()) return out;
+    // Carry the exact atomic sum into the snapshot instead of re-deriving it
+    // from bucket upper bounds (which would bias it up to ~3 % high and make
+    // snapshot().sum() drift from the live sum()).  Extrema stay at bucket
+    // resolution: the atomic variant deliberately tracks none.
+    out.load(cells, sum_.load(std::memory_order_relaxed), bucket_upper(lo),
+             bucket_upper(hi));
     return out;
 }
 

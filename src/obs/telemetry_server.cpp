@@ -276,7 +276,10 @@ void TelemetryServer::run() {
             } else if (!conn.responding && (pfd.revents & POLLIN) != 0) {
                 char buffer[4096];
                 const ssize_t n = ::read(conn.fd, buffer, sizeof buffer);
-                if (n <= 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+                // n == 0 is orderly EOF: always done.  errno is only
+                // meaningful for n < 0 (read() leaves it untouched on
+                // success, and the accept4 drain above ends with EAGAIN).
+                if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
                     done = true;
                 } else if (n > 0) {
                     conn.in.append(buffer, static_cast<std::size_t>(n));
@@ -309,8 +312,10 @@ void TelemetryServer::run() {
                     }
                 }
             } else if (conn.responding && (pfd.revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
-                const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
-                                          conn.out.size() - conn.out_off);
+                // MSG_NOSIGNAL: a scraper that disconnects mid-response must
+                // yield EPIPE here, not a process-killing SIGPIPE.
+                const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                                         conn.out.size() - conn.out_off, MSG_NOSIGNAL);
                 if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
                     done = true;
                 } else if (n > 0) {

@@ -13,8 +13,14 @@ namespace rmwp {
 void LatencyHdr::record(double microseconds) noexcept {
     // NaN and negatives clamp to zero; the *1000 ns conversion keeps
     // sub-microsecond latencies distinguishable in the HDR linear range.
+    // Clamp to the trackable ceiling BEFORE llround: llround on a value
+    // outside long long's range is UB, and +inf must land in the top
+    // bucket rather than poison sum_ with an arbitrary cast result.
     const double us = microseconds > 0.0 ? microseconds : 0.0;
-    hdr_.record(static_cast<std::uint64_t>(std::llround(us * 1000.0)));
+    constexpr double kCapNs = static_cast<double>(obs::hdr_detail::kMaxTrackable);
+    const double ns = us * 1000.0; // NaN already excluded by the clamp above
+    hdr_.record(ns >= kCapNs ? obs::hdr_detail::kMaxTrackable
+                             : static_cast<std::uint64_t>(std::llround(ns)));
 }
 
 double LatencyHdr::quantile_us(double q) const noexcept {

@@ -315,14 +315,14 @@ TEST(Hdr, CellsLoadRoundTripAndAtomicSnapshot) {
     for (std::uint64_t v : {5ull, 5ull, 500ull, 50'000ull}) atomic_hdr.record(v);
     const obs::HdrHistogram snap = atomic_hdr.snapshot();
     EXPECT_EQ(snap.count(), 4u);
-    // snapshot() reconstructs each value as its bucket's upper bound, so the
-    // sum is quantized upward by at most one sub-bucket per sample.
-    EXPECT_GE(snap.sum(), atomic_hdr.sum());
-    EXPECT_LE(static_cast<double>(snap.sum()),
-              static_cast<double>(atomic_hdr.sum()) * 1.032 + 4.0);
-    // Snapshot re-records bucket upper bounds, so quantiles agree exactly.
+    // snapshot() carries the exact atomic sum, not a bucket-upper-bound
+    // re-derivation — snap.sum() must not drift from the live sum().
+    EXPECT_EQ(snap.sum(), atomic_hdr.sum());
+    // Bucket counts are copied verbatim, so quantiles agree exactly.
     for (const double q : {0.25, 0.5, 1.0})
         EXPECT_EQ(snap.quantile(q), atomic_hdr.quantile(q)) << "q=" << q;
+    // An empty atomic histogram snapshots to an empty histogram.
+    EXPECT_EQ(obs::AtomicHdrHistogram{}.snapshot().count(), 0u);
 }
 
 // ---- registry validation (satellite) -----------------------------------
