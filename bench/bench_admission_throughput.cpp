@@ -9,6 +9,14 @@
 // burst sizes.  Sequential controls at selected burst sizes separate the
 // batching speedup from any workload effect of burstiness itself.
 //
+// E20 (ours) — sharded admission throughput rides in the same binary:
+// the islands platform whose partitioned catalog splits into four
+// independent resource groups (DESIGN.md §15), decided by the batched
+// loop under shard configs {1, 2, 4} x probe_jobs 4.  Decisions are
+// bit-identical by contract, so the acceptance counts must agree across
+// every cell (RMWP_ENSURE) and the sweep isolates pure solve-side
+// speedup.  Writes BENCH_shard.json.
+//
 // Scaling: RMWP_SERVE_ARRIVALS (default 20000) arrivals per cell,
 // RMWP_SEED for the master seed.  Writes BENCH_admission.json.
 #include <iostream>
@@ -195,5 +203,148 @@ int main() {
                  "activation amortises the plan rebuild, the sorted-block refresh, and the\n"
                  "schedule rebuild across the group; throughput grows with batch size while\n"
                  "the sequential controls at the same burstiness stay near the baseline.\n";
+
+    // ---- E20: sharded admission on the islands platform ----
+    //
+    // Twenty-four CPUs, four GPUs, one DVFS core — round-robin over four
+    // islands, so each island holds six CPUs and a GPU and the partitioned
+    // catalog confines every task type to one island.  The platform is
+    // deliberately big: Algorithm 1's refresh loop is superlinear in the
+    // active-set size, so the whole-platform solve dominates the decision
+    // and splitting it into four bucket-sized solves pays for the
+    // fork-join.  All cells run the batched loop on the same burst-8
+    // workload — the only variable is the shard config, and the
+    // determinism contract makes every cell's decision stream identical.
+    PlatformBuilder islands_builder;
+    for (int k = 0; k < 24; ++k) islands_builder.add_cpu("CPU" + std::to_string(k));
+    for (int k = 0; k < 4; ++k) islands_builder.add_gpu("GPU" + std::to_string(k));
+    islands_builder.add_cpu_with_dvfs({1.0, 0.5}, "DVFS");
+    const Platform islands = islands_builder.build();
+    CatalogParams islands_params;
+    islands_params.type_count = 32;
+    Rng islands_rng(seed);
+    const Catalog islands_catalog =
+        generate_partitioned_catalog(islands, islands_params, 4, islands_rng);
+
+    struct ShardCell {
+        const char* label;
+        std::size_t shards;
+        std::size_t jobs;
+    };
+    const ShardCell shard_cells[] = {
+        {"batched (shards=1)", 1, 1},
+        // jobs=1 isolates the decomposition win (four bucket-sized solves
+        // are superlinearly cheaper than one whole-platform solve) from
+        // the parallelism win measured by the jobs=4 cells.
+        {"shards=4 jobs=1", 4, 1},
+        {"shards=2 jobs=4", 2, 4},
+        {"shards=4 jobs=4", 4, 4},
+    };
+
+    std::cout << "\nE20: sharded admission throughput (ours)\n"
+              << "setup: " << arrivals << " synthetic arrivals per cell, burst 8, seed " << seed
+              << ", 24 CPUs + 4 GPUs + 1 DVFS core in 4 islands, " << islands_catalog.size()
+              << " island-confined task types, heuristic RM + online predictor\n\n";
+
+    bench::Json shard_results = bench::Json::array();
+    double batched_dps = 0.0;
+    double best_sharded_dps = 0.0;
+    std::uint64_t reference_accepted = 0;
+    std::uint64_t reference_rejected = 0;
+    Table shard_table(
+        {"configuration", "decisions/sec", "accepted %", "p99 us", "wall ms", "speedup"});
+    for (const ShardCell& cell : shard_cells) {
+        HeuristicRM rm;
+        rm.set_shard_config({cell.shards, cell.jobs});
+        PredictorSpec spec;
+        spec.kind = PredictorSpec::Kind::online;
+        const std::unique_ptr<Predictor> predictor =
+            make_predictor(spec, islands_catalog, Rng(seed));
+
+        SyntheticSourceParams source_params;
+        source_params.seed = seed;
+        // The default mean is calibrated for the 6-resource platform;
+        // with ~5x the capacity here, arrivals come ~5x as fast so the
+        // active set stays proportionally loaded and the solver sees
+        // platform-sized instances.
+        source_params.interarrival_mean = 1.2;
+        source_params.interarrival_stddev = 0.4;
+        BurstSource source(islands_catalog, source_params, 8);
+
+        ServeConfig config;
+        config.sim.execution_seed = seed;
+        config.max_arrivals = arrivals;
+        config.batch_window = 0.0;
+        config.monitor_period_seconds = 0.1;
+        config.limits.expect_no_misses = true;
+
+        serve_clear_stop();
+        const ServeResult serve =
+            run_serve(islands, islands_catalog, rm, *predictor, nullptr, source, config);
+        RMWP_ENSURE(serve.exit_code == 0);
+
+        // The determinism contract in numbers: every shard config must
+        // accept and reject exactly the same requests.
+        if (cell.shards == 1) {
+            reference_accepted = serve.result.accepted;
+            reference_rejected = serve.result.rejected;
+        }
+        RMWP_ENSURE(serve.result.accepted == reference_accepted);
+        RMWP_ENSURE(serve.result.rejected == reference_rejected);
+
+        const double dps = serve.wall_seconds > 0.0
+                               ? static_cast<double>(serve.result.requests) / serve.wall_seconds
+                               : 0.0;
+        const double accepted_percent =
+            serve.result.requests > 0
+                ? 100.0 * static_cast<double>(serve.result.accepted) /
+                      static_cast<double>(serve.result.requests)
+                : 0.0;
+        if (cell.shards == 1) batched_dps = dps;
+        if (cell.shards > 1 && dps > best_sharded_dps) best_sharded_dps = dps;
+        const double speedup = batched_dps > 0.0 ? dps / batched_dps : 0.0;
+
+        shard_table.row()
+            .cell(cell.label)
+            .cell(dps, 0)
+            .cell(accepted_percent, 1)
+            .cell(serve.latency_p99_us, 0)
+            .cell(serve.wall_seconds * 1000.0, 0)
+            .cell(speedup, 2);
+
+        bench::Json j = bench::Json::object();
+        j.set("label", cell.label);
+        j.set("shards", static_cast<std::uint64_t>(cell.shards));
+        j.set("probe_jobs", static_cast<std::uint64_t>(cell.jobs));
+        j.set("arrivals", serve.arrivals);
+        j.set("accepted", static_cast<std::uint64_t>(serve.result.accepted));
+        j.set("rejected", static_cast<std::uint64_t>(serve.result.rejected));
+        j.set("deadline_misses", static_cast<std::uint64_t>(serve.result.deadline_misses));
+        j.set("decisions_per_second", dps);
+        j.set("latency_p99_us", serve.latency_p99_us);
+        j.set("wall_ms", serve.wall_seconds * 1000.0);
+        j.set("speedup_vs_batched", speedup);
+        shard_results.push(std::move(j));
+    }
+    shard_table.print(std::cout);
+
+    bench::Json shard_root = bench::Json::object();
+    shard_root.set("bench", "shard");
+    shard_root.set("arrivals_per_cell", arrivals);
+    shard_root.set("seed", seed);
+    shard_root.set("batched_decisions_per_second", batched_dps);
+    shard_root.set("best_sharded_decisions_per_second", best_sharded_dps);
+    shard_root.set("best_speedup_vs_batched",
+                   batched_dps > 0.0 ? best_sharded_dps / batched_dps : 0.0);
+    shard_root.set("cells", std::move(shard_results));
+    std::ofstream shard_out("BENCH_shard.json");
+    shard_root.write(shard_out, 0);
+    shard_out << '\n';
+    if (shard_out) std::cout << "wrote BENCH_shard.json\n";
+
+    std::cout << "\nfinding: partitioning the admission solve by resource group turns one\n"
+                 "whole-platform plan into four bucket-sized plans solved concurrently; the\n"
+                 "acceptance counts stay bit-identical across shard configs, so the speedup\n"
+                 "is pure solver parallelism with no behavioural drift.\n";
     return 0;
 }

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/edf.hpp"
+#include "core/shard.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
@@ -13,6 +14,60 @@ namespace rmwp {
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Error-free cost accumulator for the branch-and-bound (DESIGN.md §15).
+///
+/// A plain `double` running sum resolves real-valued cost ties by
+/// rounding noise, and that noise depends on accumulation order: the
+/// monolithic solve interleaves every resource group's terms while a
+/// per-shard sub-solve sums only its own bucket's, so two same-type
+/// tasks whose swapped placements cost exactly the same could come out
+/// swapped between the two paths.  Admission costs are sums of at most
+/// a few dozen task energies of similar magnitude, so the exact sum
+/// fits comfortably in the 106 significand bits of a renormalised
+/// double-double pair — and exact sums are order-independent, which
+/// restores bit-identity between the whole-instance and per-bucket
+/// searches.  The pair is kept canonical (hi carries the rounded
+/// value, |lo| <= ulp(hi)/2), so equal reals compare equal and the
+/// lexicographic comparison below is a true real comparison.
+struct ExactSum {
+    double hi = 0.0;
+    double lo = 0.0;
+
+    [[nodiscard]] ExactSum plus(double x) const {
+        // Knuth two-sum of (hi, x), fold in lo, renormalise.  Exact as
+        // long as the true sum's significand fits the pair, which holds
+        // for any realistic cost scale (terms within ~15 binades).
+        const double s = hi + x;
+        const double b = s - hi;
+        const double err = ((hi - (s - b)) + (x - b)) + lo;
+        const double h = s + err;
+        return ExactSum{h, err - (h - s)};
+    }
+
+    [[nodiscard]] bool less_than(const ExactSum& other) const {
+        if (hi != other.hi) return hi < other.hi;
+        return lo < other.lo;
+    }
+};
+
+/// ShardedSolver callback: branch-and-bound over one bucket's sub-instance.
+/// Costs and feasibility separate across buckets, so the per-bucket optima
+/// compose into the global optimum; `proven` reports whether a failure
+/// exhausted the search tree (node budgets are per sub-solve — see the
+/// DESIGN.md §15 caveat).
+bool sharded_optimize(const PlanInstance& sub, std::vector<ResourceId>& mapping, bool& proven,
+                      void* ctx) {
+    const auto* options = static_cast<const ExactRM::Options*>(ctx);
+    bool step_proven = true;
+    auto result = ExactRM::optimize(sub, *options, &step_proven);
+    proven = step_proven;
+    if (!result) return false;
+    // Assign (not move): the slot's buffer capacity is part of the
+    // allocation-free steady state.
+    mapping.assign(result->mapping.begin(), result->mapping.end());
+    return true;
+}
 
 /// Depth-first search state.  Pooled thread-locally (search_scratch):
 /// admission runs the search thousands of times per trace, and the
@@ -23,13 +78,13 @@ struct Search {
     const ExactRM::Options* options = nullptr;
 
     std::vector<std::size_t> order;           ///< task indices, most-constrained first
-    std::vector<double> min_cost_suffix;      ///< optimistic cost of order[d..]
+    std::vector<ExactSum> min_cost_suffix;    ///< optimistic cost of order[d..]
     std::vector<std::vector<ScheduleItem>> assigned; ///< per-resource partial schedule
     std::vector<std::vector<ResourceId>> candidates_by_depth; ///< per-depth scratch
 
     std::vector<ResourceId> current;          ///< current[j] = resource of tasks[j]
     std::vector<ResourceId> best;
-    double best_cost = kInfinity;
+    ExactSum best_cost{kInfinity, 0.0};
     bool proven = true;
     std::uint64_t nodes = 0;
 
@@ -51,14 +106,19 @@ struct Search {
         if (candidates_by_depth.size() < count) candidates_by_depth.resize(count);
         current.assign(count, 0);
         best.clear();
-        best_cost = kInfinity;
+        best_cost = ExactSum{kInfinity, 0.0};
         proven = true;
         nodes = 0;
 
         // Most-constrained-first ordering: fewest executable resources,
-        // then earliest deadline.  Pinned tasks have a single option, so
-        // they land at the front and act as fixed context for everything
-        // after them.
+        // then earliest deadline, then instance position.  Pinned tasks
+        // have a single option, so they land at the front and act as fixed
+        // context for everything after them.  The final tie-break totalises
+        // the order (std::sort is unstable): the search's exploration order
+        // — and with it the returned optimum under cost ties — is then a
+        // pure function of the instance, which is what lets a sharded
+        // sub-solve reproduce the sequential result bit for bit
+        // (DESIGN.md §15; a sub-instance preserves instance position).
         order.resize(count);
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -66,19 +126,32 @@ struct Search {
             const PlanTask& tb = inst.tasks[b];
             if (ta.executable.size() != tb.executable.size())
                 return ta.executable.size() < tb.executable.size();
-            return ta.abs_deadline < tb.abs_deadline;
+            if (ta.abs_deadline != tb.abs_deadline) return ta.abs_deadline < tb.abs_deadline;
+            return a < b;
         });
 
-        min_cost_suffix.assign(count + 1, 0.0);
+        min_cost_suffix.assign(count + 1, ExactSum{});
         for (std::size_t d = count; d-- > 0;) {
             const PlanTask& task = inst.tasks[order[d]];
             double cheapest = kInfinity;
             for (const ResourceId i : task.executable) cheapest = std::min(cheapest, task.epm[i]);
-            min_cost_suffix[d] = min_cost_suffix[d + 1] + cheapest;
+            min_cost_suffix[d] = std::isfinite(cheapest) && std::isfinite(min_cost_suffix[d + 1].hi)
+                                     ? min_cost_suffix[d + 1].plus(cheapest)
+                                     : ExactSum{kInfinity, 0.0};
         }
     }
 
-    void dfs(std::size_t depth, double cost) {
+    /// True when `cost` plus the optimistic suffix can still strictly
+    /// improve on the incumbent.  Every operand is an exact sum, so this
+    /// is a real comparison: ties prune (keeping the lex-first optimum)
+    /// and the verdict is the same whether the instance is solved whole
+    /// or as per-shard sub-instances.
+    [[nodiscard]] bool can_improve(const ExactSum& cost, const ExactSum& suffix) const {
+        if (!std::isfinite(suffix.hi)) return false;
+        return cost.plus(suffix.hi).plus(suffix.lo).less_than(best_cost);
+    }
+
+    void dfs(std::size_t depth, ExactSum cost) {
         if (nodes >= options->node_limit) {
             proven = false;
             return;
@@ -86,27 +159,33 @@ struct Search {
         ++nodes;
 
         if (depth == order.size()) {
-            if (cost < best_cost) {
+            if (cost.less_than(best_cost)) {
                 best_cost = cost;
                 best = current;
             }
             return;
         }
-        if (cost + min_cost_suffix[depth] >= best_cost) return; // bound
+        if (!can_improve(cost, min_cost_suffix[depth])) return; // bound
 
         const std::size_t j = order[depth];
         const PlanTask& task = instance->tasks[j];
 
         // Cheapest-first exploration finds a good incumbent early.  Each
-        // recursion depth owns one pooled candidate buffer.
+        // recursion depth owns one pooled candidate buffer.  Resource id
+        // breaks energy ties so the exploration order is total — under
+        // equal-cost optima the incumbent that survives the strict `<`
+        // improvement test is then the same whether the task set arrived
+        // whole or as a per-shard sub-instance.
         std::vector<ResourceId>& candidates = candidates_by_depth[depth];
         candidates.assign(task.executable.begin(), task.executable.end());
-        std::sort(candidates.begin(), candidates.end(),
-                  [&](ResourceId a, ResourceId b) { return task.epm[a] < task.epm[b]; });
+        std::sort(candidates.begin(), candidates.end(), [&](ResourceId a, ResourceId b) {
+            if (task.epm[a] != task.epm[b]) return task.epm[a] < task.epm[b];
+            return a < b;
+        });
 
         for (const ResourceId i : candidates) {
-            const double next_cost = cost + task.epm[i];
-            if (next_cost + min_cost_suffix[depth + 1] >= best_cost) continue;
+            const ExactSum next_cost = cost.plus(task.epm[i]);
+            if (!can_improve(next_cost, min_cost_suffix[depth + 1])) continue;
 
             // Operating points of a DVFS core share the core's timeline, so
             // partial schedules are kept per physical anchor.
@@ -142,14 +221,14 @@ std::optional<ExactRM::Result> ExactRM::optimize(const PlanInstance& instance,
 
     Search& search = search_scratch();
     search.reset(instance, options);
-    search.dfs(0, 0.0);
+    search.dfs(0, ExactSum{});
 
     if (proven_out != nullptr) *proven_out = search.proven;
     if (search.best.empty()) return std::nullopt;
     RMWP_ENSURE(search.best.size() == count);
     Result result;
     result.mapping = search.best; // copy: the incumbent buffer stays pooled
-    result.energy = search.best_cost;
+    result.energy = search.best_cost.hi;
     result.proven_optimal = search.proven;
     result.nodes = search.nodes;
     return result;
@@ -160,15 +239,31 @@ Decision ExactRM::decide(const ArrivalContext& context) {
     // so the rejection is a proof of infeasibility, otherwise (node limit
     // hit with no incumbent) it is only the budget speaking.
     bool proven = true;
-    Decision decision = run_admission_ladder(
-        context,
-        [this, &proven](const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
-            bool step_proven = true;
-            if (auto result = optimize(instance, options_, &step_proven))
-                return std::move(result->mapping);
-            proven = proven && step_proven;
-            return std::nullopt;
-        });
+    const ShardConfig& shard = shard_config();
+    Decision decision =
+        shard.shards > 1
+            ? [&] {
+                  ShardPartition& partition = ShardPartition::local();
+                  partition.rebuild(*context.platform, *context.catalog);
+                  ShardedSolver& solver = ShardedSolver::local();
+                  return run_admission_ladder(context, [&](const PlanInstance& instance) {
+                      ShardedSolver::RunStats stats;
+                      auto mapping = solver.run(instance, partition, shard, &sharded_optimize,
+                                                &options_, /*use_cache=*/false, &stats);
+                      if (!mapping.has_value()) proven = proven && stats.proven;
+                      return mapping;
+                  });
+              }()
+            : run_admission_ladder(
+                  context,
+                  [this, &proven](
+                      const PlanInstance& instance) -> std::optional<std::vector<ResourceId>> {
+                      bool step_proven = true;
+                      if (auto result = optimize(instance, options_, &step_proven))
+                          return std::move(result->mapping);
+                      proven = proven && step_proven;
+                      return std::nullopt;
+                  });
     if (!decision.admitted)
         decision.reason = proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
     RMWP_ENSURE(decision.admitted || decision.reason == RejectReason::proved_infeasible ||
@@ -178,6 +273,10 @@ Decision ExactRM::decide(const ArrivalContext& context) {
 
 void ExactRM::decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) {
     RMWP_EXPECT(batch.platform != nullptr && batch.catalog != nullptr);
+    if (shard_config().shards > 1) {
+        decide_batch_sharded(batch, out);
+        return;
+    }
     BatchPlanner planner(batch);
     out.clear();
     out.reserve(batch.items.size());
@@ -196,6 +295,37 @@ void ExactRM::decide_batch(const BatchArrivalContext& batch, std::vector<Decisio
         if (!decision.admitted)
             decision.reason =
                 proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
+        out.push_back(std::move(decision));
+    }
+    RMWP_ENSURE(out.size() == batch.items.size());
+}
+
+void ExactRM::decide_batch_sharded(const BatchArrivalContext& batch, std::vector<Decision>& out) {
+    RMWP_EXPECT(shard_config().shards > 1);
+    const ShardConfig& shard = shard_config();
+    BatchPlanner planner(batch);
+    ShardPartition& partition = ShardPartition::local();
+    partition.rebuild(*batch.platform, *batch.catalog);
+    ShardedSolver& solver = ShardedSolver::local();
+    solver.begin_batch(batch, partition, shard.shards);
+    out.clear();
+    out.reserve(batch.items.size());
+    for (std::size_t m = 0; m < planner.item_count(); ++m) {
+        bool proven = true;
+        Decision decision =
+            run_admission_ladder_batch(planner, m, [&](const PlanInstance& instance) {
+                ShardedSolver::RunStats stats;
+                auto mapping = solver.run(instance, partition, shard, &sharded_optimize, &options_,
+                                          /*use_cache=*/true, &stats);
+                if (!mapping.has_value()) proven = proven && stats.proven;
+                return mapping;
+            });
+        if (!decision.admitted)
+            decision.reason =
+                proven ? RejectReason::proved_infeasible : RejectReason::solver_infeasible;
+        if (decision.admitted)
+            solver.note_admission(decision, batch.items[m].candidate, partition, *batch.catalog,
+                                  shard.shards);
         out.push_back(std::move(decision));
     }
     RMWP_ENSURE(out.size() == batch.items.size());

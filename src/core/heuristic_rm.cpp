@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/edf.hpp"
+#include "core/shard.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
@@ -16,6 +17,20 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 /// The big-M of line 6: large enough to dominate any energy difference yet
 /// finite so a desirability order still exists among infeasible choices.
 constexpr double kBigM = 1e9;
+
+/// ShardedSolver callback: Algorithm 1 over one bucket's sub-instance.
+/// A heuristic rejection is never a proof of infeasibility.
+bool sharded_map_tasks(const PlanInstance& sub, std::vector<ResourceId>& mapping, bool& proven,
+                       void* ctx) {
+    proven = true;
+    const auto* options = static_cast<const HeuristicRM::Options*>(ctx);
+    const auto result = HeuristicRM::map_tasks(sub, *options);
+    if (!result.has_value()) return false;
+    // The span views the worker thread's scratch — copy out before the next
+    // solve on this thread reuses it.
+    mapping.assign(result->begin(), result->end());
+    return true;
+}
 
 } // namespace
 
@@ -168,8 +183,21 @@ std::optional<std::span<const ResourceId>> HeuristicRM::map_tasks(const PlanInst
 }
 
 Decision HeuristicRM::decide(const ArrivalContext& context) {
-    Decision decision = run_admission_ladder(
-        context, [this](const PlanInstance& instance) { return map_tasks(instance, options_); });
+    const ShardConfig& shard = shard_config();
+    Decision decision =
+        shard.shards > 1
+            ? [&] {
+                  ShardPartition& partition = ShardPartition::local();
+                  partition.rebuild(*context.platform, *context.catalog);
+                  ShardedSolver& solver = ShardedSolver::local();
+                  return run_admission_ladder(context, [&](const PlanInstance& instance) {
+                      return solver.run(instance, partition, shard, &sharded_map_tasks,
+                                        &options_, /*use_cache=*/false);
+                  });
+              }()
+            : run_admission_ladder(context, [this](const PlanInstance& instance) {
+                  return map_tasks(instance, options_);
+              });
     // Algorithm 1 is incomplete: a rejection means the regret-driven search
     // was exhausted, not that no schedulable mapping exists (Sec 5.2).
     if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
@@ -179,6 +207,11 @@ Decision HeuristicRM::decide(const ArrivalContext& context) {
 
 void HeuristicRM::decide_batch(const BatchArrivalContext& batch, std::vector<Decision>& out) {
     RMWP_EXPECT(batch.platform != nullptr && batch.catalog != nullptr);
+    const ShardConfig& shard = shard_config();
+    if (shard.shards > 1) {
+        decide_batch_sharded(batch, out);
+        return;
+    }
     BatchPlanner planner(batch);
     out.clear();
     out.reserve(batch.items.size());
@@ -187,6 +220,34 @@ void HeuristicRM::decide_batch(const BatchArrivalContext& batch, std::vector<Dec
             return map_tasks(instance, options_);
         });
         if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
+        out.push_back(std::move(decision));
+    }
+    RMWP_ENSURE(out.size() == batch.items.size());
+}
+
+void HeuristicRM::decide_batch_sharded(const BatchArrivalContext& batch,
+                                       std::vector<Decision>& out) {
+    RMWP_EXPECT(shard_config().shards > 1);
+    const ShardConfig& shard = shard_config();
+    BatchPlanner planner(batch);
+    ShardPartition& partition = ShardPartition::local();
+    partition.rebuild(*batch.platform, *batch.catalog);
+    ShardedSolver& solver = ShardedSolver::local();
+    // The cross-item cache keys on bucket versions begun here: buckets no
+    // admission touches keep their solved verdict across the whole batch.
+    solver.begin_batch(batch, partition, shard.shards);
+    out.clear();
+    out.reserve(batch.items.size());
+    for (std::size_t m = 0; m < planner.item_count(); ++m) {
+        Decision decision =
+            run_admission_ladder_batch(planner, m, [&](const PlanInstance& instance) {
+                return solver.run(instance, partition, shard, &sharded_map_tasks,
+                                  &options_, /*use_cache=*/true);
+            });
+        if (!decision.admitted) decision.reason = RejectReason::heuristic_exhausted;
+        if (decision.admitted)
+            solver.note_admission(decision, batch.items[m].candidate, partition, *batch.catalog,
+                                  shard.shards);
         out.push_back(std::move(decision));
     }
     RMWP_ENSURE(out.size() == batch.items.size());

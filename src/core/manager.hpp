@@ -156,6 +156,20 @@ struct BatchArrivalContext {
     }
 };
 
+/// Sharded concurrent admission configuration (DESIGN.md §15).  The plan is
+/// partitioned by resource group (connected components of the "some type can
+/// execute on both resources" relation) and folded into at most `shards`
+/// solve buckets; up to `probe_jobs` buckets are probed concurrently per
+/// decision on the persistent exec::TaskPool.  Decisions are bit-identical
+/// to the sequential path at any shard and job count — sharding trades
+/// nothing but latency.  `shards <= 1` selects the unsharded code path
+/// exactly.  BaselineRM and MilpRM ignore the config (their solvers do not
+/// decompose provably bit-identically; see DESIGN.md §15).
+struct ShardConfig {
+    std::size_t shards = 1;     ///< max solve buckets (1 = sequential solve)
+    std::size_t probe_jobs = 1; ///< concurrent bucket probes per decision
+};
+
 /// Abstract resource manager.
 class ResourceManager {
 public:
@@ -176,6 +190,16 @@ public:
     /// override this to migrate tasks off the lost capacity.
     [[nodiscard]] virtual RescueDecision rescue(const RescueContext& context);
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Sharded-admission configuration.  Set once, at construction/setup
+    /// time, before the RM is shared across engine threads: the config is
+    /// read unsynchronised on every decide.  RMs whose solvers do not
+    /// decompose bit-identically (baseline, milp) ignore it.
+    void set_shard_config(const ShardConfig& config) noexcept { shard_config_ = config; }
+    [[nodiscard]] const ShardConfig& shard_config() const noexcept { return shard_config_; }
+
+private:
+    ShardConfig shard_config_;
 };
 
 /// Apply the RM-visible effects of an admitted decision to a working active

@@ -75,26 +75,6 @@ void fill_predicted_task(PlanTask& plan, const Platform& platform, const Catalog
     RMWP_ENSURE(health != nullptr || !plan.executable.empty());
 }
 
-/// Resize a pooled task list without destroying PlanTask heap buffers:
-/// surplus shells park in `spare` and return on the next growth, so the
-/// ladder's rung-to-rung (and the batch planner's item-to-item) resizes do
-/// no steady-state allocation.
-void set_task_count(std::vector<PlanTask>& tasks, std::vector<PlanTask>& spare,
-                    std::size_t count) {
-    while (tasks.size() > count) {
-        spare.push_back(std::move(tasks.back()));
-        tasks.pop_back();
-    }
-    while (tasks.size() < count) {
-        if (spare.empty()) {
-            tasks.emplace_back();
-        } else {
-            tasks.push_back(std::move(spare.back()));
-            spare.pop_back();
-        }
-    }
-}
-
 /// Reservation blocks intersecting [now, now + window), grouped per
 /// physical core (reservations occupy the core whatever operating point
 /// other work uses), plus the per-core blocked-time capacity reduction.
@@ -225,6 +205,28 @@ void fill_blocks(PlanInstance& instance, const ReservationTable* reservations) {
 }
 
 } // namespace
+
+namespace plan_detail {
+
+void set_task_count(std::vector<PlanTask>& tasks, std::vector<PlanTask>& spare,
+                    std::size_t count) {
+    while (tasks.size() > count) {
+        spare.push_back(std::move(tasks.back()));
+        tasks.pop_back();
+    }
+    while (tasks.size() < count) {
+        if (spare.empty()) {
+            tasks.emplace_back();
+        } else {
+            tasks.push_back(std::move(spare.back()));
+            spare.pop_back();
+        }
+    }
+}
+
+} // namespace plan_detail
+
+using plan_detail::set_task_count;
 
 PlanInstance PlanInstance::build(const ArrivalContext& context, std::size_t predicted_count) {
     PlanPool pool;

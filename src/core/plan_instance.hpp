@@ -99,6 +99,15 @@ struct PlanPool {
     [[nodiscard]] static PlanPool& local();
 };
 
+namespace plan_detail {
+/// Resize a pooled task list without destroying PlanTask heap buffers:
+/// surplus shells park in `spare` and return on the next growth, so
+/// rung-to-rung (and per-shard sub-instance) resizes do no steady-state
+/// allocation.  Shared by the ladder, BatchPlanner, and ShardedSolver.
+void set_task_count(std::vector<PlanTask>& tasks, std::vector<PlanTask>& spare,
+                    std::size_t count);
+} // namespace plan_detail
+
 /// Shared planning state for one coalesced batch of same-instant arrivals:
 /// the working active set (base) is materialised as plan tasks once, and
 /// each item's ladder rungs only rewrite the candidate + predicted tail of

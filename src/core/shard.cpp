@@ -1,0 +1,296 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+
+#include "exec/task_pool.hpp"
+#include "obs/stage_timer.hpp"
+#include "util/check.hpp"
+#include "workload/catalog.hpp"
+
+namespace rmwp {
+namespace {
+
+constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
+} // namespace
+
+std::size_t ShardPartition::find(std::size_t i) {
+    RMWP_EXPECT(i < parent_.size());
+    // Path halving: every probed node re-points to its grandparent.
+    while (parent_[i] != i) {
+        parent_[i] = parent_[parent_[i]];
+        i = parent_[i];
+    }
+    return i;
+}
+
+void ShardPartition::join(std::size_t a, std::size_t b) {
+    RMWP_EXPECT(a < parent_.size() && b < parent_.size());
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // The smaller root wins, so every component's representative is its
+    // smallest resource id — the dense numbering below leans on that to be
+    // a pure function of the inputs.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+}
+
+void ShardPartition::rebuild(const Platform& platform, const Catalog& catalog) {
+    RMWP_EXPECT(platform.size() > 0);
+    const std::size_t n = platform.size();
+    parent_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+    // Operating points contend with their physical core whatever the
+    // catalog says; types join every resource they can execute on.
+    for (const Resource& resource : platform.resources()) join(resource.id(), resource.physical());
+    for (TaskTypeId t = 0; t < catalog.size(); ++t) {
+        const auto& resources = catalog.type(t).executable_resources();
+        for (std::size_t k = 1; k < resources.size(); ++k) join(resources[0], resources[k]);
+    }
+    group_of_.assign(n, kNoGroup);
+    group_count_ = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t root = find(i);
+        if (group_of_[root] == kNoGroup) group_of_[root] = group_count_++;
+        group_of_[i] = group_of_[root];
+    }
+    RMWP_ENSURE(group_count_ >= 1 && group_count_ <= n);
+}
+
+ShardPartition& ShardPartition::local() {
+    static thread_local ShardPartition partition;
+    return partition;
+}
+
+ShardedSolver::ShardedSolver() {
+    // Persistent dispatch thunk: capturing only `this` keeps it inside
+    // std::function's small-buffer storage, so a parallel fork-join
+    // allocates nothing per decision.  The solve/ctx members are written
+    // before for_each and published to the workers by the pool's mutex
+    // handshake.
+    pool_fn_ = [this](std::size_t p) { solve_pending(p, active_solve_, active_ctx_); };
+}
+
+void ShardedSolver::ensure_buckets(std::size_t count) {
+    // Never shrink: bucket slots own pooled sub-instances whose capacity
+    // must survive alternating platform sizes on one thread.
+    if (buckets_.size() < count) buckets_.resize(count);
+}
+
+void ShardedSolver::begin_batch(const BatchArrivalContext& batch, const ShardPartition& partition,
+                                std::size_t shards) {
+    RMWP_EXPECT(batch.catalog != nullptr);
+    const std::size_t count = partition.bucket_count(shards);
+    ensure_buckets(count);
+    for (std::size_t b = 0; b < count; ++b) {
+        Bucket& bucket = buckets_[b];
+        bucket.version = 1;
+        bucket.cache_cursor = 0;
+        for (CacheEntry& entry : bucket.cache) entry.valid = false;
+    }
+    tracked_.clear();
+    for (const ActiveTask& task : batch.active)
+        tracked_.push_back({task.uid, task.resource,
+                            partition.bucket_of(batch.catalog->type(task.type), shards)});
+    RMWP_ENSURE(tracked_.size() == batch.active.size());
+}
+
+void ShardedSolver::note_admission(const Decision& decision, const ActiveTask& candidate,
+                                   const ShardPartition& partition, const Catalog& catalog,
+                                   std::size_t shards) {
+    RMWP_EXPECT(decision.admitted);
+    for (const TaskAssignment& assignment : decision.assignments) {
+        Tracked* found = nullptr;
+        for (Tracked& tracked : tracked_) {
+            if (tracked.uid == assignment.uid) {
+                found = &tracked;
+                break;
+            }
+        }
+        if (found == nullptr) {
+            // First sighting: this is the admitted candidate joining the
+            // working set — its bucket gains a task.
+            RMWP_ENSURE(assignment.uid == candidate.uid);
+            const std::size_t b = partition.bucket_of(catalog.type(candidate.type), shards);
+            tracked_.push_back({assignment.uid, assignment.resource, b});
+            if (b < buckets_.size()) ++buckets_[b].version;
+        } else if (found->resource != assignment.resource) {
+            // Moved by this admission (and, when started, charged a
+            // migration overhead): its bucket's cached solves are stale.
+            found->resource = assignment.resource;
+            if (found->bucket < buckets_.size()) ++buckets_[found->bucket].version;
+        }
+    }
+}
+
+void ShardedSolver::build_sub(Bucket& bucket, const PlanInstance& instance) {
+    RMWP_EXPECT(!bucket.task_index.empty());
+    PlanInstance& sub = bucket.sub;
+    sub.platform = instance.platform;
+    sub.now = instance.now;
+    // The *global* planning window: per-resource capacities
+    // (window - blocked_time) and every demand-bound test must see the
+    // horizon the sequential solve saw.  Other buckets' tasks are absent,
+    // but they have no finite WCET on this bucket's resources, so their
+    // absence cannot change any probe here.
+    sub.window = instance.window;
+    plan_detail::set_task_count(sub.tasks, bucket.spare, bucket.task_index.size());
+    std::size_t predicted = 0;
+    for (std::size_t s = 0; s < bucket.task_index.size(); ++s) {
+        sub.tasks[s] = instance.tasks[bucket.task_index[s]];
+        if (sub.tasks[s].is_predicted) ++predicted;
+    }
+    sub.predicted_count = predicted;
+    sub.blocks = instance.blocks;
+    sub.blocked_time = instance.blocked_time;
+    RMWP_ENSURE(sub.tasks.size() == bucket.task_index.size());
+}
+
+void ShardedSolver::solve_pending(std::size_t p, SolveFn solve, void* ctx) {
+    Bucket& bucket = buckets_[pending_[p]];
+    bucket.proven = true;
+    bucket.ok = solve(bucket.sub, bucket.mapping, bucket.proven, ctx);
+}
+
+std::optional<std::span<const ResourceId>> ShardedSolver::run(const PlanInstance& instance,
+                                                              const ShardPartition& partition,
+                                                              const ShardConfig& config,
+                                                              SolveFn solve, void* ctx,
+                                                              bool use_cache, RunStats* stats) {
+    RMWP_EXPECT(instance.platform != nullptr);
+    RMWP_EXPECT(!instance.tasks.empty());
+    RMWP_EXPECT(instance.tasks.size() >= 1 + instance.predicted_count);
+    const std::size_t shards = config.shards;
+    const std::size_t bucket_count = partition.bucket_count(shards);
+    ensure_buckets(bucket_count);
+
+    // 1. Partition the instance's tasks into buckets, marking those holding
+    // this item's candidate / predicted tail (their state is item-specific,
+    // so they are never served from or stored to the cross-item cache).
+    const std::size_t count = instance.tasks.size();
+    const std::size_t item_local_from = count - 1 - instance.predicted_count;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        buckets_[b].task_index.clear();
+        buckets_[b].item_local = false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t b = partition.bucket_of(instance.tasks[i], shards);
+        RMWP_EXPECT(b < bucket_count);
+        buckets_[b].task_index.push_back(i);
+        if (i >= item_local_from) buckets_[b].item_local = true;
+    }
+
+    // 2. Serve what the cache can; queue the rest for a fresh solve.
+    pending_.clear();
+    std::size_t populated = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        Bucket& bucket = buckets_[b];
+        if (bucket.task_index.empty()) {
+            bucket.ok = true;
+            bucket.proven = true;
+            bucket.mapping.clear();
+            continue;
+        }
+        ++populated;
+        if (use_cache && !bucket.item_local) {
+            bool hit = false;
+            for (CacheEntry& entry : bucket.cache) {
+                if (entry.valid && entry.version == bucket.version &&
+                    entry.window == instance.window) {
+                    bucket.ok = entry.ok;
+                    bucket.proven = entry.proven;
+                    bucket.mapping.assign(entry.mapping.begin(), entry.mapping.end());
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit) continue;
+        }
+        pending_.push_back(b);
+    }
+
+    // 3. Build the pending sub-instances (caller thread, pooled), then
+    // fork-join the solves.  Each worker touches only its own bucket slot;
+    // the pool's completion handshake publishes the writes back here, and
+    // the caller participates, so jobs == 1 never leaves this thread.
+    for (const std::size_t b : pending_) build_sub(buckets_[b], instance);
+    {
+        RMWP_STAGE_SCOPE(obs::Stage::shard_solve);
+        const std::size_t jobs = std::min(config.probe_jobs, pending_.size());
+        if (jobs <= 1) {
+            for (std::size_t p = 0; p < pending_.size(); ++p) solve_pending(p, solve, ctx);
+        } else {
+            active_solve_ = solve;
+            active_ctx_ = ctx;
+            probe_pool(jobs - 1).for_each(pending_.size(), pool_fn_);
+        }
+    }
+    for (const std::size_t b : pending_) {
+        Bucket& bucket = buckets_[b];
+        if (!use_cache || bucket.item_local) continue;
+        CacheEntry& entry = bucket.cache[bucket.cache_cursor];
+        bucket.cache_cursor = (bucket.cache_cursor + 1) % kCacheWays;
+        entry.valid = true;
+        entry.ok = bucket.ok;
+        entry.proven = bucket.proven;
+        entry.version = bucket.version;
+        entry.window = instance.window;
+        entry.mapping.assign(bucket.mapping.begin(), bucket.mapping.end());
+    }
+
+    // 4. Verdict: the instance is feasible iff every bucket is; a failed
+    // rung is *proven* infeasible when every failing bucket proved it.
+    bool all_ok = true;
+    bool proven = true;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        const Bucket& bucket = buckets_[b];
+        if (!bucket.ok) {
+            all_ok = false;
+            proven = proven && bucket.proven;
+        }
+    }
+    if (stats != nullptr) {
+        stats->proven = all_ok || proven;
+        stats->buckets = populated;
+        stats->solved = pending_.size();
+    }
+
+#ifdef RMWP_AUDIT
+    {
+        // Drift gate (DESIGN.md §9): the sequential solve of the very same
+        // instance must agree with the sharded merge bit for bit.
+        std::vector<ResourceId> direct;
+        bool direct_proven = true;
+        const bool direct_ok = solve(instance, direct, direct_proven, ctx);
+        RMWP_ENSURE(direct_ok == all_ok);
+        if (all_ok) {
+            RMWP_ENSURE(direct.size() == count);
+            for (std::size_t b = 0; b < bucket_count; ++b) {
+                const Bucket& bucket = buckets_[b];
+                for (std::size_t s = 0; s < bucket.task_index.size(); ++s)
+                    RMWP_ENSURE(bucket.mapping[s] == direct[bucket.task_index[s]]);
+            }
+        }
+    }
+#endif
+
+    if (!all_ok) return std::nullopt;
+
+    RMWP_STAGE_SCOPE(obs::Stage::shard_merge);
+    merged_.assign(count, ResourceId{0});
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        const Bucket& bucket = buckets_[b];
+        RMWP_ENSURE(bucket.mapping.size() == bucket.task_index.size());
+        for (std::size_t s = 0; s < bucket.task_index.size(); ++s)
+            merged_[bucket.task_index[s]] = bucket.mapping[s];
+    }
+    return std::span<const ResourceId>(merged_);
+}
+
+ShardedSolver& ShardedSolver::local() {
+    static thread_local ShardedSolver solver;
+    return solver;
+}
+
+} // namespace rmwp

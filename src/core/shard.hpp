@@ -1,0 +1,186 @@
+// Sharded concurrent admission (DESIGN.md §15).
+//
+// The platform's resources fall into *resource groups*: connected
+// components of the relation "some catalog task type can execute on both".
+// Tasks from different groups share no feasible resource, so their
+// placements, EDF probes, and energy costs never interact — a plan over the
+// whole platform decomposes exactly into independent per-group sub-plans.
+// ShardPartition computes that decomposition (union-find over the catalog's
+// executability sets, group ids assigned in smallest-resource-id order so
+// the partition is a pure function of platform + catalog), and
+// ShardedSolver solves the per-group sub-instances — optionally in parallel
+// on the persistent exec::probe_pool — then merges the per-bucket mappings
+// back into instance order.
+//
+// Determinism contract (DESIGN.md §9): the merged decision is bit-identical
+// to the sequential solve at any shard count and any probe-job count.
+// Parallel workers write only their own bucket's slot (mapping + verdict);
+// the merge reads the slots in bucket order on the calling thread, so the
+// schedule of the workers can never reorder results.  An RMWP_AUDIT build
+// re-solves every instance sequentially and asserts bit-equality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/plan_instance.hpp"
+
+namespace rmwp {
+
+/// Resource-group partition of one (platform, catalog) pair.  Pooled:
+/// rebuild() reuses all scratch capacity, so recomputing it per decision
+/// (O(resources + catalog executability entries), far below one solve)
+/// costs no steady-state allocation and needs no cross-decision cache keys.
+class ShardPartition {
+public:
+    /// Recompute groups: operating points join their physical core, and
+    /// every task type joins all resources it can execute on.  Group ids
+    /// are dense [0, group_count()) in order of each group's smallest
+    /// resource id — deterministic in the inputs alone.
+    void rebuild(const Platform& platform, const Catalog& catalog);
+
+    [[nodiscard]] std::size_t group_count() const noexcept { return group_count_; }
+    [[nodiscard]] std::size_t group_of(ResourceId i) const {
+        RMWP_EXPECT(i < group_of_.size());
+        return group_of_[i];
+    }
+
+    /// Number of distinct solve buckets under a `shards` cap.
+    [[nodiscard]] std::size_t bucket_count(std::size_t shards) const noexcept {
+        return std::min(group_count_, std::max<std::size_t>(shards, 1));
+    }
+
+    /// Solve bucket of a resource: its group, folded modulo the shard cap.
+    [[nodiscard]] std::size_t bucket_of_resource(ResourceId i, std::size_t shards) const {
+        return group_of(i) % std::max<std::size_t>(shards, 1);
+    }
+
+    /// Solve bucket of a plan task.  All of a task's executable resources
+    /// lie in one group by construction; a task with an empty executable
+    /// set (all its resources offline under faults) deterministically lands
+    /// in bucket 0, where it fails feasibility exactly as it would in the
+    /// sequential solve.
+    [[nodiscard]] std::size_t bucket_of(const PlanTask& task, std::size_t shards) const {
+        return task.executable.empty() ? 0 : bucket_of_resource(task.executable.front(), shards);
+    }
+
+    /// Solve bucket of every task of a catalog type.
+    [[nodiscard]] std::size_t bucket_of(const TaskType& type, std::size_t shards) const {
+        const auto& resources = type.executable_resources();
+        return resources.empty() ? 0 : bucket_of_resource(resources.front(), shards);
+    }
+
+    /// The calling thread's pooled partition.
+    [[nodiscard]] static ShardPartition& local();
+
+private:
+    [[nodiscard]] std::size_t find(std::size_t i);
+    void join(std::size_t a, std::size_t b);
+
+    std::vector<std::size_t> group_of_; ///< resource id -> dense group id
+    std::vector<std::size_t> parent_;   ///< union-find scratch
+    std::size_t group_count_ = 0;
+};
+
+/// Generic sharded solve driver, layered over BatchPlanner / the admission
+/// ladder: both the heuristic and the exact RM plug their solver in as a
+/// stateless callback over a sub-instance.  Holds all per-bucket state
+/// (pooled sub-instances, result slots, the cross-item solve cache) in
+/// thread-local storage — one RM object stays shareable across the
+/// experiment engine's threads.
+class ShardedSolver {
+public:
+    /// Solve `sub` into `mapping` (one resource per sub task, sub order).
+    /// Returns feasibility; on failure `proven` reports whether the
+    /// failure is a proof of infeasibility (exact) or a heuristic give-up.
+    /// Runs on pool workers: must only touch its own arguments and
+    /// thread-local scratch.
+    using SolveFn = bool (*)(const PlanInstance& sub, std::vector<ResourceId>& mapping,
+                             bool& proven, void* ctx);
+
+    struct RunStats {
+        bool proven = true;      ///< AND over the failed buckets' proofs
+        std::size_t buckets = 0; ///< non-empty buckets in this instance
+        std::size_t solved = 0;  ///< buckets solved fresh (not cache hits)
+    };
+
+    ShardedSolver();
+
+    /// Start a coalesced batch: resets bucket versions and the solve cache,
+    /// and snapshots the working set's uid -> (resource, bucket) map so
+    /// note_admission can tell which buckets an admission touched.
+    void begin_batch(const BatchArrivalContext& batch, const ShardPartition& partition,
+                     std::size_t shards);
+
+    /// Record an admitted decision: the candidate's bucket and the bucket
+    /// of every moved task get a new version, invalidating their cached
+    /// solves; untouched buckets keep serving cache hits.
+    void note_admission(const Decision& decision, const ActiveTask& candidate,
+                        const ShardPartition& partition, const Catalog& catalog,
+                        std::size_t shards);
+
+    /// Solve `instance` as independent per-bucket sub-solves and merge.
+    /// With `use_cache` (batch loop only, between begin_batch and the next
+    /// begin_batch), buckets not containing the item's candidate/predicted
+    /// tail reuse their cached verdict when (version, window) match.
+    /// Returns the merged mapping (valid until the next run on this
+    /// thread's solver), or nullopt when any bucket is infeasible.
+    std::optional<std::span<const ResourceId>> run(const PlanInstance& instance,
+                                                   const ShardPartition& partition,
+                                                   const ShardConfig& config, SolveFn solve,
+                                                   void* ctx, bool use_cache,
+                                                   RunStats* stats = nullptr);
+
+    /// The calling thread's pooled solver.
+    [[nodiscard]] static ShardedSolver& local();
+
+private:
+    static constexpr std::size_t kCacheWays = 4;
+
+    struct CacheEntry {
+        bool valid = false;
+        bool ok = false;
+        bool proven = true;
+        std::uint64_t version = 0;
+        double window = -1.0;
+        std::vector<ResourceId> mapping;
+    };
+
+    struct Bucket {
+        std::vector<std::size_t> task_index; ///< instance task indices, ascending
+        bool item_local = false;             ///< holds the candidate/predicted tail
+        PlanInstance sub;                    ///< pooled sub-instance
+        std::vector<PlanTask> spare;         ///< shell pool for sub.tasks
+        std::vector<ResourceId> mapping;     ///< solve result, sub task order
+        bool ok = false;
+        bool proven = true;
+        std::uint64_t version = 1; ///< bumped on any admission touching the bucket
+        std::array<CacheEntry, kCacheWays> cache;
+        std::size_t cache_cursor = 0;
+    };
+
+    struct Tracked {
+        TaskUid uid = 0;
+        ResourceId resource = 0;
+        std::size_t bucket = 0;
+    };
+
+    void ensure_buckets(std::size_t count);
+    void build_sub(Bucket& bucket, const PlanInstance& instance);
+    void solve_pending(std::size_t p, SolveFn solve, void* ctx);
+
+    std::vector<Bucket> buckets_; ///< never shrinks; first bucket_count used
+    std::vector<Tracked> tracked_;
+    std::vector<std::size_t> pending_; ///< bucket ids needing a fresh solve
+    std::vector<ResourceId> merged_;
+    std::function<void(std::size_t)> pool_fn_; ///< persistent, SBO-sized capture
+    SolveFn active_solve_ = nullptr;
+    void* active_ctx_ = nullptr;
+};
+
+} // namespace rmwp

@@ -10,6 +10,8 @@ const char* to_string(Stage stage) noexcept {
     case Stage::sorted_refresh: return "sorted_refresh";
     case Stage::prefilter: return "prefilter";
     case Stage::edf_simulate: return "edf_simulate";
+    case Stage::shard_solve: return "shard_solve";
+    case Stage::shard_merge: return "shard_merge";
     }
     return "unknown";
 }

@@ -34,9 +34,11 @@ enum class Stage : std::uint8_t {
     sorted_refresh, ///< memoised sorted-block recomputation in fill_blocks
     prefilter,      ///< analytic EDF prefilter (demand / dispatch-mirror scans)
     edf_simulate,   ///< exact EDF simulation fallback
+    shard_solve,    ///< sharded per-bucket sub-solves, incl. cross-shard wait
+    shard_merge,    ///< deterministic cross-shard mapping merge
 };
 
-inline constexpr std::size_t kStageCount = 6;
+inline constexpr std::size_t kStageCount = 8;
 
 /// Lower-snake-case stage name (Prometheus label value).
 [[nodiscard]] const char* to_string(Stage stage) noexcept;

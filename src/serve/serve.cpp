@@ -303,7 +303,7 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
 
     if (config.telemetry_port >= 0) {
         obs::TelemetryHandlers handlers;
-        handlers.metrics = [&board, &published, &monitor, profile_stages] {
+        handlers.metrics = [&board, &published, &monitor, &rm, profile_stages] {
             obs::PrometheusText text;
             {
                 std::lock_guard<std::mutex> lock(published.mutex);
@@ -356,6 +356,16 @@ ServeResult run_serve(const Platform& platform, const Catalog& catalog, Resource
                         predictions > 0 ? static_cast<double>(hits) /
                                               static_cast<double>(predictions)
                                         : std::numeric_limits<double>::quiet_NaN());
+
+            // Sharded-admission configuration (DESIGN.md §15).  Immutable
+            // for the lifetime of the serve run, so reading it from the
+            // telemetry thread needs no synchronisation.  The matching
+            // stage costs are rmwp_stage_shard_solve / _merge above.
+            gauge("rmwp_serve_shards", "sharded-admission solve buckets cap (--shards)",
+                  rm.shard_config().shards);
+            gauge("rmwp_serve_probe_jobs",
+                  "concurrent per-decision shard probes (--probe-jobs)",
+                  rm.shard_config().probe_jobs);
 
             // Service latency as a summary straight off the board's live HDR.
             text.family("rmwp_serve_latency_us",

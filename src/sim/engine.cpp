@@ -432,6 +432,10 @@ void SimEngine::decide_on(const Request& request, TaskUid uid, std::size_t index
     context.reservations = reservations_;
     context.health = &health_;
 
+    // The timestamps bracket the *whole* decide call: under sharded
+    // admission (DESIGN.md §15) that includes the per-bucket fork-join and
+    // the cross-shard merge, so the recorded decision latency is the
+    // end-to-end figure — never a single bucket's solve time.
     // RMWP_LINT_ALLOW(R1): measures RM overhead on the host (paper Fig 5); host-time
     const auto started = std::chrono::steady_clock::now();
     const Decision decision = rm_.decide(context);
@@ -552,6 +556,8 @@ void SimEngine::decide_batch_on(Time decision_time) {
     batch.reservations = reservations_;
     batch.health = &health_;
 
+    // As on the sequential path: the bracket spans the whole decide_batch,
+    // so sharded runs record latency after the cross-shard merge.
     // RMWP_LINT_ALLOW(R1): measures RM overhead on the host (paper Fig 5); host-time
     const auto started = std::chrono::steady_clock::now();
     if (!batch_items_.empty()) rm_.decide_batch(batch, batch_decisions_);

@@ -65,4 +65,18 @@ private:
 [[nodiscard]] Catalog generate_catalog(const Platform& platform, const CatalogParams& params,
                                        Rng& rng);
 
+/// Generate an *islands* catalog: physical resources are assigned
+/// round-robin (in id order) to `islands` disjoint resource islands, and
+/// each task type executes only within island `type_id % islands` — the
+/// Sec 5.1 magnitudes, confined.  The executability relation then has
+/// `islands` connected components, which is exactly what sharded admission
+/// (DESIGN.md §15) partitions on: with this catalog, shards split both the
+/// work and the O(tasks^2) solve cost instead of degenerating to one group.
+/// Every island must receive at least one CPU core.  Deterministic in
+/// `rng`; `islands == 1` draws differently from generate_catalog (only
+/// island CPUs are sampled) but has the same distribution shape.
+[[nodiscard]] Catalog generate_partitioned_catalog(const Platform& platform,
+                                                   const CatalogParams& params,
+                                                   std::size_t islands, Rng& rng);
+
 } // namespace rmwp

@@ -170,5 +170,127 @@ TEST(AllocCount, BatchDecisionAmortisesSetupAllocations) {
         << " batches of " << items.size();
 }
 
+// ---- sharded admission (DESIGN.md §15) ----
+
+/// Four islands over eleven physical resources (mirrors
+/// tests/test_shard_admission.cpp): the partition that gives the sharded
+/// solver real per-bucket work.
+Platform make_islands_platform() {
+    PlatformBuilder builder;
+    for (int k = 0; k < 8; ++k) builder.add_cpu("CPU" + std::to_string(k));
+    builder.add_gpu("GPU0");
+    builder.add_gpu("GPU1");
+    builder.add_cpu_with_dvfs({1.0, 0.5}, "DVFS");
+    return builder.build();
+}
+
+TEST(AllocCount, ShardedSteadyStateKeepsTheOneAllocationBudget) {
+#ifdef RMWP_AUDIT
+    GTEST_SKIP() << "allocation budgets are pinned on no-audit builds";
+#endif
+    const Platform platform = make_islands_platform();
+    CatalogParams params;
+    params.type_count = 16;
+    Rng catalog_rng = Rng(5).derive(1);
+    const Catalog catalog = generate_partitioned_catalog(platform, params, 4, catalog_rng);
+
+    std::vector<ActiveTask> active;
+    active.push_back(task_of(0, 0, 0.0, 90.0));
+    active.push_back(task_of(1, 1, 0.0, 110.0));
+    active.push_back(task_of(2, 2, 0.0, 130.0));
+    for (ActiveTask& task : active)
+        task.resource = catalog.type(task.type).executable_resources().front();
+    ArrivalContext context;
+    context.now = 5.0;
+    context.platform = &platform;
+    context.catalog = &catalog;
+    context.active = active;
+    context.candidate = task_of(100, 3, 5.0, 80.0);
+    context.predicted = {PredictedTask{4, 9.0, 60.0}};
+
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}}) {
+        HeuristicRM rm;
+        rm.set_shard_config({4, jobs});
+        // Warm-up sizes the partition, the per-bucket sub-instances, every
+        // worker thread's solver arenas, and (jobs > 1) the probe pool's
+        // threads — all persistent thread-local state.
+        (void)rm.decide(context);
+
+        constexpr int kRounds = 200;
+        AllocationCount count;
+        count.start();
+        std::size_t admitted = 0;
+        for (int round = 0; round < kRounds; ++round) {
+            const Decision decision = rm.decide(context);
+            if (decision.admitted) ++admitted;
+        }
+        const std::uint64_t allocations = count.stop();
+        EXPECT_EQ(admitted, static_cast<std::size_t>(kRounds)) << "jobs " << jobs;
+
+        // Same budget as the sequential path: one allocation per decision —
+        // the Decision's assignments vector.  Partition rebuilds, bucket
+        // sub-instances, worker mappings, and the fork-join dispatch all
+        // reuse pooled capacity (the std::function thunk capturing `this`
+        // stays in its small-buffer storage).
+        EXPECT_LE(allocations, static_cast<std::uint64_t>(kRounds))
+            << "sharded decide() with probe_jobs=" << jobs << " regressed to " << allocations
+            << " allocations over " << kRounds << " rounds";
+        EXPECT_GT(allocations, 0u);
+    }
+}
+
+TEST(AllocCount, ShardedBatchOfEightAcrossFourShardsStaysPinned) {
+#ifdef RMWP_AUDIT
+    GTEST_SKIP() << "allocation budgets are pinned on no-audit builds";
+#endif
+    const Platform platform = make_islands_platform();
+    CatalogParams params;
+    params.type_count = 16;
+    Rng catalog_rng = Rng(5).derive(1);
+    const Catalog catalog = generate_partitioned_catalog(platform, params, 4, catalog_rng);
+
+    std::vector<ActiveTask> active;
+    active.push_back(task_of(0, 0, 0.0, 120.0));
+    active.front().resource = catalog.type(0).executable_resources().front();
+    // Eight same-instant arrivals spanning all four islands (type m % 16
+    // lives in island (m % 16) % 4), so the batch loop exercises every
+    // bucket and the cross-item solve cache.
+    std::vector<BatchItem> items;
+    for (std::size_t m = 0; m < 8; ++m)
+        items.push_back({task_of(100 + m, (m * 3 + 1) % 16, 5.0,
+                                 90.0 + 4.0 * static_cast<double>(m)),
+                         {}});
+    BatchArrivalContext batch;
+    batch.now = 5.0;
+    batch.platform = &platform;
+    batch.catalog = &catalog;
+    batch.active = active;
+    batch.items = items;
+
+    HeuristicRM rm;
+    rm.set_shard_config({4, 2});
+    std::vector<Decision> out;
+    rm.decide_batch(batch, out); // warm-up
+    ASSERT_EQ(out.size(), items.size());
+
+    constexpr int kRounds = 100;
+    AllocationCount count;
+    count.start();
+    for (int round = 0; round < kRounds; ++round) {
+        rm.decide_batch(batch, out);
+        ASSERT_EQ(out.size(), items.size());
+    }
+    const std::uint64_t allocations = count.stop();
+
+    // Explicit pinned budget for the 8-across-4 shape: one assignments
+    // vector per admitted item plus a constant slack for arena growth that
+    // can trail the warm-up batch (cache-entry mappings, tracked-uid
+    // capacity).  The slack must not scale with kRounds.
+    const std::uint64_t budget = static_cast<std::uint64_t>(kRounds) * items.size() + 16;
+    EXPECT_LE(allocations, budget)
+        << "sharded decide_batch allocated " << allocations << " times over " << kRounds
+        << " batches of " << items.size();
+}
+
 } // namespace
 } // namespace rmwp
